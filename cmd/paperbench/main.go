@@ -1,0 +1,233 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the same rows or series the paper
+// reports; absolute values come from the calibrated performance model
+// (see EXPERIMENTS.md for paper-versus-measured).
+//
+// Usage:
+//
+//	paperbench                  # run everything
+//	paperbench -exp fig5        # one experiment
+//	paperbench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+func main() {
+	expFlag := flag.String("exp", "", "experiment id to run (default: all)")
+	listFlag := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *listFlag {
+		for _, e := range exps {
+			fmt.Printf("%-14s %s\n", e.id, e.title)
+		}
+		return
+	}
+	if *expFlag != "" {
+		for _, e := range exps {
+			if e.id == *expFlag {
+				banner(e)
+				e.run()
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (try -list)\n", *expFlag)
+		os.Exit(1)
+	}
+	for _, e := range exps {
+		banner(e)
+		e.run()
+		fmt.Println()
+	}
+}
+
+func banner(e experiment) {
+	fmt.Printf("=== %s — %s ===\n", e.id, e.title)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "Selected EC2 instance types", table1},
+		{"table2", "Microsoft Windows Azure instance types", table2},
+		{"table3", "Summary of cloud technology features", table3},
+		{"fig3", "Cap3 cost with different EC2 instance types", fig3},
+		{"fig4", "Cap3 compute time with different instance types", fig4},
+		{"fig5", "Cap3 parallel efficiency", fig5},
+		{"fig6", "Cap3 execution time for single file per core", fig6},
+		{"table4", "Cap3 4096-file cost comparison (EC2 / Azure / owned cluster)", table4},
+		{"fig7", "Cost to process 64 BLAST query files in EC2", fig7},
+		{"fig8", "Time to process 64 BLAST query files in EC2", fig8},
+		{"fig9", "Time to process 8 BLAST query files in Azure (workers x threads)", fig9},
+		{"fig10", "BLAST parallel efficiency", fig10},
+		{"fig11", "BLAST average time to process a single query file", fig11},
+		{"fig12", "GTM cost with different instance types", fig12},
+		{"fig13", "GTM Interpolation compute time with different instance types", fig13},
+		{"fig14", "GTM Interpolation parallel efficiency", fig14},
+		{"fig15", "GTM Interpolation performance per core", fig15},
+		{"azurelinear", "Why Azure Cap3/GTM instance figures are omitted (Section 3)", azureLinearity},
+		{"variability", "Sustained performance of clouds over a week (Section 3)", variability},
+		{"inhomogeneous", "Dynamic vs static scheduling on skewed data (Section 4.2)", inhomogeneous},
+	}
+}
+
+func table1() {
+	fmt.Printf("%-22s %9s %6s %7s %10s\n", "Instance Type", "Memory", "ECUs", "Cores", "Cost/hour")
+	for _, it := range cloud.EC2Catalog() {
+		fmt.Printf("%-22s %7.1fGB %6d %7d %9.2f$\n",
+			it.Name, it.MemoryGB, it.ComputeUnits, it.Cores, it.CostPerHour)
+	}
+}
+
+func table2() {
+	fmt.Printf("%-12s %6s %9s %12s %10s\n", "Instance", "Cores", "Memory", "Local Disk", "Cost/hour")
+	for _, it := range cloud.AzureCatalog() {
+		fmt.Printf("%-12s %6d %7.1fGB %10.0fGB %9.2f$\n",
+			it.Name, it.Cores, it.MemoryGB, it.LocalDiskGB, it.CostPerHour)
+	}
+}
+
+func table3() {
+	rows := [][3]string{
+		{"Programming patterns", "Independent job execution via queue", "MapReduce / DAG execution"},
+		{"Fault tolerance", "Visibility-timeout re-execution", "Re-execution of failed and slow tasks"},
+		{"Data storage", "S3/Azure Storage over HTTP", "HDFS / Windows shared local disks"},
+		{"Environments", "EC2/Azure instances, local resources", "Linux cluster / Windows HPCS cluster"},
+		{"Scheduling", "Dynamic global queue", "Data locality + global queue / static partitions"},
+	}
+	fmt.Printf("%-24s | %-38s | %s\n", "", "AWS/Azure Classic Cloud", "Hadoop / DryadLINQ")
+	fmt.Println(strings.Repeat("-", 110))
+	for _, r := range rows {
+		fmt.Printf("%-24s | %-38s | %s\n", r[0], r[1], r[2])
+	}
+}
+
+func instanceCost(rows []perfmodel.InstanceStudyRow) {
+	fmt.Printf("%-16s %14s %16s\n", "Config", "Compute Cost", "Amortized Cost")
+	for _, r := range rows {
+		fmt.Printf("%-16s %13.2f$ %15.2f$\n", r.Label, r.ComputeCost, r.Amortized)
+	}
+}
+
+func instanceTime(rows []perfmodel.InstanceStudyRow) {
+	fmt.Printf("%-16s %14s\n", "Config", "Compute Time")
+	for _, r := range rows {
+		fmt.Printf("%-16s %14s\n", r.Label, r.ComputeTime)
+	}
+}
+
+func fig3() { instanceCost(perfmodel.Cap3InstanceStudy()) }
+func fig4() { instanceTime(perfmodel.Cap3InstanceStudy()) }
+
+func efficiencySeries(points []perfmodel.ScalabilityPoint) {
+	fmt.Printf("%-42s %6s %7s %10s %11s\n", "Implementation", "Cores", "Files", "Makespan", "Efficiency")
+	for _, p := range points {
+		fmt.Printf("%-42s %6d %7d %10s %11.3f\n", p.Framework, p.Cores, p.Files, p.Makespan, p.Efficiency)
+	}
+}
+
+func perCoreSeries(points []perfmodel.ScalabilityPoint) {
+	fmt.Printf("%-42s %6s %7s %18s\n", "Implementation", "Cores", "Files", "Per-file-per-core")
+	for _, p := range points {
+		fmt.Printf("%-42s %6d %7d %18s\n", p.Framework, p.Cores, p.Files, p.PerFilePerCore)
+	}
+}
+
+func fig5() { efficiencySeries(perfmodel.Cap3Scalability()) }
+func fig6() { perCoreSeries(perfmodel.Cap3Scalability()) }
+
+func table4() {
+	t := perfmodel.Table4CostComparison()
+	fmt.Printf("%-28s %14s %14s\n", "", "Amazon AWS", "Azure")
+	fmt.Printf("%-28s %13.2f$ %13.2f$\n", "Compute Cost", t.EC2Compute, t.AzureCompute)
+	fmt.Printf("%-28s %13.2f$ %13.2f$\n", "Queue messages", t.EC2Queue, t.AzureQueue)
+	fmt.Printf("%-28s %13.2f$ %13.2f$\n", "Storage (1GB, 1 month)", t.EC2Storage, t.AzureStorage)
+	fmt.Printf("%-28s %13.2f$ %13.2f$\n", "Data transfer in/out", t.EC2TransferIn, t.AzureTransfer)
+	fmt.Printf("%-28s %13.2f$ %13.2f$\n", "Total Cost", t.EC2Total, t.AzureTotal)
+	fmt.Printf("(EC2 makespan %v, Azure makespan %v)\n", t.EC2Makespan, t.AzureMakespan)
+	utils := make([]float64, 0, len(t.ClusterCost))
+	for u := range t.ClusterCost {
+		utils = append(utils, u)
+	}
+	sort.Float64s(utils)
+	for _, u := range utils {
+		fmt.Printf("Owned cluster at %2.0f%% utilization: %6.2f$ (makespan %v)\n",
+			u*100, t.ClusterCost[u], t.ClusterMakespan)
+	}
+}
+
+func fig7() { instanceCost(perfmodel.BlastInstanceStudy()) }
+func fig8() { instanceTime(perfmodel.BlastInstanceStudy()) }
+
+func fig9() {
+	rows := perfmodel.BlastAzureStudy()
+	fmt.Printf("%-24s %22s %12s\n", "Instance (count)", "Workers x Threads", "Time")
+	for _, r := range rows {
+		fmt.Printf("%-24s %22s %12s\n",
+			fmt.Sprintf("%s (x%d)", r.InstanceType, r.Instances),
+			fmt.Sprintf("%d x %d", r.Workers, r.Threads), r.Time)
+	}
+}
+
+func fig10() { efficiencySeries(perfmodel.BlastScalability()) }
+func fig11() { perCoreSeries(perfmodel.BlastScalability()) }
+func fig12() { instanceCost(perfmodel.GTMInstanceStudy()) }
+func fig13() { instanceTime(perfmodel.GTMInstanceStudy()) }
+func fig14() { efficiencySeries(perfmodel.GTMScalability()) }
+func fig15() { perCoreSeries(perfmodel.GTMScalability()) }
+
+func azureLinearity() {
+	apps := []struct {
+		name string
+		app  perfmodel.AppModel
+	}{
+		{"Cap3", perfmodel.Cap3Model(458)},
+		{"GTM", perfmodel.GTMModel(100000)},
+		{"BLAST", perfmodel.BlastModel(100)},
+	}
+	for _, a := range apps {
+		fmt.Printf("%s on Azure (64 files, 8 cores):\n", a.name)
+		fmt.Printf("  %-14s %10s %12s %16s\n", "Type", "Instances", "Time", "Cost x Time [$h]")
+		for _, r := range perfmodel.AzureLinearityCheck(a.app) {
+			fmt.Printf("  %-14s %10d %12s %16.3f\n", r.Type.Name, r.Instances, r.Time, r.CostTimeProduct)
+		}
+	}
+	fmt.Println("flat Cost x Time for Cap3/GTM = performance scales linearly with price,")
+	fmt.Println("which is why the paper presents no Azure instance study for them.")
+}
+
+func variability() {
+	aws, azure := perfmodel.VariabilityStudy()
+	fmt.Printf("AWS   performance CV over a week: %.2f%% (paper: 1.56%%)\n", aws)
+	fmt.Printf("Azure performance CV over a week: %.2f%% (paper: 2.25%%)\n", azure)
+	awsSamples := perfmodel.VariabilitySample(perfmodel.ClassicEC2, 7, 24, 21)
+	fmt.Printf("AWS mean normalized performance: %.4f over %d samples\n",
+		metrics.Mean(awsSamples), len(awsSamples))
+}
+
+func inhomogeneous() {
+	rows := perfmodel.InhomogeneousStudy()
+	fmt.Printf("%-14s %16s %16s %12s\n", "Heterogeneity", "Hadoop (dyn)", "Dryad (static)", "Dryad/Hadoop")
+	for _, r := range rows {
+		fmt.Printf("%-14.1f %16s %16s %12.2f\n",
+			r.Heterogeneity, r.HadoopMakespan, r.DryadMakespan, r.Ratio)
+	}
+	_ = time.Second
+}

@@ -1,0 +1,246 @@
+// Integration tests: every real biomedical application on every
+// execution substrate, verifying scientific correctness of the outputs
+// (not just plumbing). These are the functional-layer counterparts of
+// the paper's evaluation matrix.
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/blast"
+	"repro/internal/cap3"
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/gtm"
+	"repro/internal/workload"
+)
+
+func runnersUnderTest() []core.Runner {
+	return []core.Runner{
+		core.ClassicCloudRunner{Instances: 2, WorkersPerInstance: 2},
+		core.MapReduceRunner{Nodes: 3, SlotsPerNode: 2},
+		core.DryadRunner{Nodes: 3, SlotsPerNode: 2},
+	}
+}
+
+// TestCap3OnAllFrameworks assembles reads of known genomes on each
+// substrate and verifies the contigs reconstruct the genomes.
+func TestCap3OnAllFrameworks(t *testing.T) {
+	const nFiles = 4
+	files := make(map[string][]byte, nFiles)
+	genomes := make(map[string][]byte, nFiles)
+	for i := 0; i < nFiles; i++ {
+		name := fmt.Sprintf("region%d.fsa", i)
+		genome := workload.Genome(int64(300+i), 3000)
+		cfg := workload.DefaultShotgun()
+		cfg.ErrorRate = 0.002
+		reads := workload.ShotgunReads(int64(400+i), genome, 120, cfg)
+		doc, err := fasta.MarshalRecords(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[name] = doc
+		genomes[name] = genome
+	}
+	app := core.FuncApp{AppName: "cap3", Fn: func(name string, in []byte) ([]byte, error) {
+		return cap3.Run(in, cap3.Options{})
+	}}
+	for _, r := range runnersUnderTest() {
+		t.Run(r.Backend(), func(t *testing.T) {
+			res, err := r.Run(app, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, out := range res.Outputs {
+				contigs, err := fasta.ParseBytes(out)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				longest := 0
+				var longestSeq []byte
+				for _, c := range contigs {
+					if c.Len() > longest {
+						longest = c.Len()
+						longestSeq = c.Seq
+					}
+				}
+				if longest < len(genomes[name])/2 {
+					t.Errorf("%s: longest contig %d < half the %d-base genome",
+						name, longest, len(genomes[name]))
+					continue
+				}
+				// The contig (either strand) must appear in the genome at
+				// high identity; check containment of a large interior
+				// window to stay robust to edge effects.
+				window := longestSeq[longest/4 : longest/4+longest/4]
+				genome := genomes[name]
+				if !bytes.Contains(genome, window) &&
+					!bytes.Contains(genome, bio.ReverseComplement(window)) {
+					t.Errorf("%s: contig window not found in source genome", name)
+				}
+			}
+		})
+	}
+}
+
+// blastSharedApp is the SharedDataApplication used across frameworks.
+type blastSharedApp struct {
+	blob []byte
+	mu   sync.Mutex
+	db   *blast.Database
+}
+
+func (a *blastSharedApp) Name() string                  { return "blast" }
+func (a *blastSharedApp) SharedData() map[string][]byte { return map[string][]byte{"nr": a.blob} }
+
+func (a *blastSharedApp) LoadShared(f map[string][]byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.db != nil {
+		return nil
+	}
+	db, err := blast.UnmarshalCompressed(f["nr"])
+	if err != nil {
+		return err
+	}
+	a.db = db
+	return nil
+}
+
+func (a *blastSharedApp) Process(name string, in []byte) ([]byte, error) {
+	a.mu.Lock()
+	db := a.db
+	a.mu.Unlock()
+	return blast.Run(in, db, blast.Options{Threads: 1, MaxEValue: 1e-3})
+}
+
+// TestBlastOnAllFrameworks searches motif-bearing queries on each
+// substrate and requires consistent hit counts everywhere.
+func TestBlastOnAllFrameworks(t *testing.T) {
+	dbRecs, motifs := workload.ProteinDatabase(21, 120, 150, 300, 4, 28)
+	db := blast.NewDatabase(dbRecs)
+	blob, err := db.MarshalCompressed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := workload.BlastQueryFileSet(22, 3, 20, motifs, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantHits int
+	for i, r := range runnersUnderTest() {
+		t.Run(r.Backend(), func(t *testing.T) {
+			res, err := r.Run(&blastSharedApp{blob: blob}, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hits := 0
+			for _, out := range res.Outputs {
+				hits += strings.Count(string(out), "\n")
+			}
+			if hits == 0 {
+				t.Fatal("no hits; motif queries must match the database")
+			}
+			if i == 0 {
+				wantHits = hits
+				return
+			}
+			if hits != wantHits {
+				t.Errorf("hit count %d differs from first backend's %d", hits, wantHits)
+			}
+		})
+	}
+}
+
+// gtmSharedApp distributes a trained model.
+type gtmSharedApp struct {
+	blob []byte
+	mu   sync.Mutex
+	m    *gtm.Model
+}
+
+func (a *gtmSharedApp) Name() string                  { return "gtm" }
+func (a *gtmSharedApp) SharedData() map[string][]byte { return map[string][]byte{"model": a.blob} }
+
+func (a *gtmSharedApp) LoadShared(f map[string][]byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.m != nil {
+		return nil
+	}
+	m, err := gtm.UnmarshalModel(f["model"])
+	if err != nil {
+		return err
+	}
+	a.m = m
+	return nil
+}
+
+func (a *gtmSharedApp) Process(name string, in []byte) ([]byte, error) {
+	a.mu.Lock()
+	m := a.m
+	a.mu.Unlock()
+	return gtm.Run(m, in)
+}
+
+// TestGTMOnAllFrameworks interpolates identical shards on each substrate
+// and requires bit-identical embeddings.
+func TestGTMOnAllFrameworks(t *testing.T) {
+	train := workload.ChemicalPoints(31, 250, 3)
+	model, err := gtm.Train(train, workload.PubChemDims, gtm.Config{
+		LatentGridSize: 6, BasisGridSize: 3, MaxIter: 10, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := model.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{}
+	for i := 0; i < 4; i++ {
+		pts := workload.ChemicalPoints(int64(40+i), 300, 3)
+		enc, err := gtm.EncodeShard(pts, workload.PubChemDims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[fmt.Sprintf("shard%d", i)] = enc
+	}
+	var reference map[string][]byte
+	for _, r := range runnersUnderTest() {
+		t.Run(r.Backend(), func(t *testing.T) {
+			res, err := r.Run(&gtmSharedApp{blob: blob}, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, out := range res.Outputs {
+				coords, err := gtm.DecodeEmbedding(out)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if len(coords) != 300*gtm.LatentDims {
+					t.Fatalf("%s: %d coords", name, len(coords))
+				}
+				for _, c := range coords {
+					if c < -1.001 || c > 1.001 {
+						t.Fatalf("%s: embedding %v escapes the latent square", name, c)
+					}
+				}
+			}
+			if reference == nil {
+				reference = res.Outputs
+				return
+			}
+			for name, want := range reference {
+				if !bytes.Equal(res.Outputs[name], want) {
+					t.Errorf("%s: embeddings differ across backends", name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package blast
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/fasta"
+)
+
+// dbWire is the serialized form of a Database: only the sequences travel;
+// the word index is rebuilt on load. This mirrors the paper's workflow of
+// shipping the compressed database (2.9 GB) and "extracting" it into its
+// in-memory searchable form (8.7 GB) on each worker.
+type dbWire struct {
+	WordSize int
+	IDs      []string
+	Seqs     [][]byte
+}
+
+// MarshalCompressed serializes the database gzip-compressed.
+func (db *Database) MarshalCompressed() ([]byte, error) {
+	wire := dbWire{WordSize: db.wordSize}
+	for _, rec := range db.Seqs {
+		wire.IDs = append(wire.IDs, rec.ID)
+		wire.Seqs = append(wire.Seqs, rec.Seq)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(wire); err != nil {
+		return nil, fmt.Errorf("blast: encoding database: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("blast: compressing database: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalCompressed reverses MarshalCompressed, rebuilding the word
+// index (the "extract" step of database preloading).
+func UnmarshalCompressed(data []byte) (*Database, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("blast: decompressing database: %w", err)
+	}
+	defer zr.Close()
+	var wire dbWire
+	if err := gob.NewDecoder(zr).Decode(&wire); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("blast: decoding database: %w", err)
+	}
+	if len(wire.IDs) != len(wire.Seqs) {
+		return nil, fmt.Errorf("blast: corrupt database: %d ids vs %d seqs", len(wire.IDs), len(wire.Seqs))
+	}
+	recs := make([]*fasta.Record, len(wire.IDs))
+	for i := range wire.IDs {
+		recs[i] = &fasta.Record{ID: wire.IDs[i], Seq: wire.Seqs[i]}
+	}
+	w := wire.WordSize
+	if w == 0 {
+		w = 3
+	}
+	return NewDatabaseWordSize(recs, w), nil
+}

@@ -1,0 +1,297 @@
+// Package blob simulates the cloud storage services of the paper —
+// Amazon S3 and Azure Blob Storage: buckets of named objects accessed
+// through a high-latency web-service interface, eventual consistency for
+// newly written objects, per-request and per-byte accounting for the
+// pricing model, and optional injected latency/bandwidth so the real
+// execution frameworks experience "off-the-node cloud storage" timing.
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time (see queue.Clock); nil selects the wall clock.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Config tunes store behaviour.
+type Config struct {
+	// ConsistencyWindow: a GET within this window after a PUT may see the
+	// previous state (stale data or absence). 0 gives strong consistency.
+	ConsistencyWindow time.Duration
+	// RequestLatency is slept on every call when > 0, emulating the HTTP
+	// round trip of the storage web service.
+	RequestLatency time.Duration
+	// BandwidthBytesPerSec throttles transfers when > 0: an object of n
+	// bytes additionally sleeps n/Bandwidth.
+	BandwidthBytesPerSec float64
+	// Clock defaults to the wall clock.
+	Clock Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
+	return c
+}
+
+// Usage aggregates the accounting dimensions the storage services bill:
+// request counts, transferred bytes, and stored bytes.
+type Usage struct {
+	PutRequests    int64
+	GetRequests    int64
+	ListRequests   int64
+	DeleteRequests int64
+	BytesIn        int64
+	BytesOut       int64
+	BytesStored    int64
+	NotFoundReads  int64 // GETs that observed eventual-consistency absence
+	StaleReads     int64 // GETs that observed a previous version
+}
+
+// Requests returns the total billed request count.
+func (u Usage) Requests() int64 {
+	return u.PutRequests + u.GetRequests + u.ListRequests + u.DeleteRequests
+}
+
+// Errors returned by the store.
+var (
+	ErrNoSuchBucket = errors.New("blob: no such bucket")
+	ErrNoSuchKey    = errors.New("blob: no such key")
+	ErrBucketExists = errors.New("blob: bucket already exists")
+)
+
+type object struct {
+	data      []byte
+	writtenAt time.Time
+	prev      []byte // previous version, visible inside the consistency window
+	hadPrev   bool
+}
+
+type bucket struct {
+	objects map[string]*object
+}
+
+// Store is an in-process blob service shared by clients and workers.
+type Store struct {
+	mu      sync.Mutex
+	cfg     Config
+	buckets map[string]*bucket
+	usage   Usage
+}
+
+// NewStore creates a store.
+func NewStore(cfg Config) *Store {
+	return &Store{cfg: cfg.withDefaults(), buckets: make(map[string]*bucket)}
+}
+
+// Usage returns a snapshot of accounting counters.
+func (s *Store) Usage() Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage
+}
+
+// simulateTransfer sleeps outside the lock for the configured request
+// latency plus bandwidth-proportional transfer time.
+func (s *Store) simulateTransfer(nBytes int) {
+	d := s.cfg.RequestLatency
+	if s.cfg.BandwidthBytesPerSec > 0 {
+		d += time.Duration(float64(nBytes) / s.cfg.BandwidthBytesPerSec * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// CreateBucket registers a bucket.
+func (s *Store) CreateBucket(name string) error {
+	s.simulateTransfer(0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage.PutRequests++
+	if name == "" {
+		return errors.New("blob: empty bucket name")
+	}
+	if _, ok := s.buckets[name]; ok {
+		return ErrBucketExists
+	}
+	s.buckets[name] = &bucket{objects: make(map[string]*object)}
+	return nil
+}
+
+// DeleteBucket removes a bucket and its objects.
+func (s *Store) DeleteBucket(name string) error {
+	s.simulateTransfer(0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage.DeleteRequests++
+	b, ok := s.buckets[name]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	for _, o := range b.objects {
+		s.usage.BytesStored -= int64(len(o.data))
+	}
+	delete(s.buckets, name)
+	return nil
+}
+
+// Put writes an object, replacing any existing version. The replaced
+// version remains visible to reads inside the consistency window.
+func (s *Store) Put(bucketName, key string, data []byte) error {
+	s.simulateTransfer(len(data))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage.PutRequests++
+	s.usage.BytesIn += int64(len(data))
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	now := s.cfg.Clock.Now()
+	if old, exists := b.objects[key]; exists {
+		s.usage.BytesStored -= int64(len(old.data))
+		b.objects[key] = &object{
+			data: append([]byte(nil), data...), writtenAt: now,
+			prev: old.data, hadPrev: true,
+		}
+	} else {
+		b.objects[key] = &object{data: append([]byte(nil), data...), writtenAt: now}
+	}
+	s.usage.BytesStored += int64(len(data))
+	return nil
+}
+
+// Get reads an object. Inside the consistency window after a Put, the
+// read may observe the pre-Put state: ErrNoSuchKey for a fresh object or
+// the previous bytes for an overwrite — S3's classic eventual-consistency
+// anomalies.
+func (s *Store) Get(bucketName, key string) ([]byte, error) {
+	s.mu.Lock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		s.usage.GetRequests++
+		s.mu.Unlock()
+		s.simulateTransfer(0)
+		return nil, ErrNoSuchBucket
+	}
+	s.usage.GetRequests++
+	o, exists := b.objects[key]
+	if !exists {
+		s.mu.Unlock()
+		s.simulateTransfer(0)
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucketName, key)
+	}
+	var out []byte
+	if s.cfg.ConsistencyWindow > 0 && s.cfg.Clock.Now().Sub(o.writtenAt) < s.cfg.ConsistencyWindow {
+		// Stale view.
+		if !o.hadPrev {
+			s.usage.NotFoundReads++
+			s.mu.Unlock()
+			s.simulateTransfer(0)
+			return nil, fmt.Errorf("%w: %s/%s (eventual consistency)", ErrNoSuchKey, bucketName, key)
+		}
+		s.usage.StaleReads++
+		out = append([]byte(nil), o.prev...)
+	} else {
+		out = append([]byte(nil), o.data...)
+	}
+	s.usage.BytesOut += int64(len(out))
+	s.mu.Unlock()
+	s.simulateTransfer(len(out))
+	return out, nil
+}
+
+// GetConsistent reads the latest version regardless of the consistency
+// window (the moral equivalent of retrying until the write is visible).
+func (s *Store) GetConsistent(bucketName, key string) ([]byte, error) {
+	s.mu.Lock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		s.usage.GetRequests++
+		s.mu.Unlock()
+		return nil, ErrNoSuchBucket
+	}
+	s.usage.GetRequests++
+	o, exists := b.objects[key]
+	if !exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucketName, key)
+	}
+	out := append([]byte(nil), o.data...)
+	s.usage.BytesOut += int64(len(out))
+	s.mu.Unlock()
+	s.simulateTransfer(len(out))
+	return out, nil
+}
+
+// Delete removes an object. Deleting a missing key is not an error,
+// matching S3.
+func (s *Store) Delete(bucketName, key string) error {
+	s.simulateTransfer(0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage.DeleteRequests++
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	if o, exists := b.objects[key]; exists {
+		s.usage.BytesStored -= int64(len(o.data))
+		delete(b.objects, key)
+	}
+	return nil
+}
+
+// List returns keys in a bucket with the given prefix, sorted.
+func (s *Store) List(bucketName, prefix string) ([]string, error) {
+	s.simulateTransfer(0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage.ListRequests++
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return nil, ErrNoSuchBucket
+	}
+	var keys []string
+	for k := range b.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Exists reports whether a key currently exists (consistent view).
+func (s *Store) Exists(bucketName, key string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage.GetRequests++
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return false, ErrNoSuchBucket
+	}
+	_, exists := b.objects[key]
+	return exists, nil
+}
+
+// Equal reports whether the stored object equals data (test helper with
+// consistent view, no accounting side effects beyond one GET).
+func (s *Store) Equal(bucketName, key string, data []byte) bool {
+	got, err := s.GetConsistent(bucketName, key)
+	return err == nil && bytes.Equal(got, data)
+}

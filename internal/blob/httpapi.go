@@ -1,0 +1,220 @@
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTPHandler exposes a Store through an S3-shaped REST interface, the
+// "web services interface ... accessible from anywhere in the web" of
+// Section 2.1.1:
+//
+//	PUT    /{bucket}              create bucket
+//	DELETE /{bucket}              delete bucket
+//	GET    /{bucket}?prefix=p     list keys
+//	PUT    /{bucket}/{key}        put object (body = content)
+//	GET    /{bucket}/{key}        get object (eventually consistent)
+//	HEAD   /{bucket}/{key}        existence check (consistent)
+//	DELETE /{bucket}/{key}        delete object
+type HTTPHandler struct {
+	Store *Store
+}
+
+// ServeHTTP implements http.Handler.
+func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	bucket, key, hasKey := strings.Cut(path, "/")
+	if bucket == "" {
+		http.Error(w, "blob: missing bucket", http.StatusBadRequest)
+		return
+	}
+	if !hasKey || key == "" {
+		h.serveBucket(w, r, bucket)
+		return
+	}
+	h.serveObject(w, r, bucket, key)
+}
+
+func (h *HTTPHandler) serveBucket(w http.ResponseWriter, r *http.Request, bucket string) {
+	switch r.Method {
+	case http.MethodPut:
+		err := h.Store.CreateBucket(bucket)
+		if errors.Is(err, ErrBucketExists) {
+			w.WriteHeader(http.StatusOK) // idempotent create, like S3
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodDelete:
+		if err := h.Store.DeleteBucket(bucket); err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		keys, err := h.Store.List(bucket, r.URL.Query().Get("prefix"))
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, k := range keys {
+			fmt.Fprintln(w, k)
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (h *HTTPHandler) serveObject(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	switch r.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := h.Store.Put(bucket, key, body); err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		data, err := h.Store.Get(bucket, key)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	case http.MethodHead:
+		ok, err := h.Store.Exists(bucket, key)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodDelete:
+		if err := h.Store.Delete(bucket, key); err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func writeStoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoSuchBucket), errors.Is(err, ErrNoSuchKey):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// HTTPClient is a minimal blob client speaking the HTTPHandler protocol,
+// the "any HTTP capable client" of the paper.
+type HTTPClient struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+func (c *HTTPClient) httpClient() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// CreateBucket creates (idempotently) a bucket.
+func (c *HTTPClient) CreateBucket(bucket string) error {
+	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/"+bucket, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, http.StatusCreated, http.StatusOK)
+}
+
+// Put uploads an object.
+func (c *HTTPClient) Put(bucket, key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/"+bucket+"/"+key, strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	return c.do(req, http.StatusOK)
+}
+
+// Get downloads an object.
+func (c *HTTPClient) Get(bucket, key string) ([]byte, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/" + bucket + "/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucket, key)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("blob: GET %s/%s: %s", bucket, key, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Delete removes an object.
+func (c *HTTPClient) Delete(bucket, key string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/"+bucket+"/"+key, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, http.StatusNoContent)
+}
+
+// List returns keys with the prefix.
+func (c *HTTPClient) List(bucket, prefix string) ([]string, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/" + bucket + "?prefix=" + prefix)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("blob: LIST %s: %s", bucket, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if line != "" {
+			keys = append(keys, line)
+		}
+	}
+	return keys, nil
+}
+
+func (c *HTTPClient) do(req *http.Request, okStatuses ...int) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	for _, s := range okStatuses {
+		if resp.StatusCode == s {
+			return nil
+		}
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	return fmt.Errorf("blob: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+}

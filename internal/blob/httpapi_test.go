@@ -1,0 +1,122 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newHTTPStore(t *testing.T) (*HTTPClient, *Store) {
+	t.Helper()
+	store := NewStore(Config{})
+	srv := httptest.NewServer(&HTTPHandler{Store: store})
+	t.Cleanup(srv.Close)
+	return &HTTPClient{BaseURL: srv.URL}, store
+}
+
+func TestHTTPPutGetDeleteRoundTrip(t *testing.T) {
+	c, _ := newHTTPStore(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent create.
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatalf("second create: %v", err)
+	}
+	payload := []byte("some bytes\x00binary ok")
+	if err := c.Put("b", "dir-key", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("b", "dir-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("got %q", got)
+	}
+	if err := c.Delete("b", "dir-key"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("b", "dir-key"); !errors.Is(err, ErrNoSuchKey) {
+		t.Errorf("get after delete: %v", err)
+	}
+}
+
+func TestHTTPList(t *testing.T) {
+	c, _ := newHTTPStore(t)
+	c.CreateBucket("b")
+	for _, k := range []string{"in-1", "in-2", "out-1"} {
+		if err := c.Put("b", k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.List("b", "in-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "in-1" || keys[1] != "in-2" {
+		t.Errorf("List = %v", keys)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	c, _ := newHTTPStore(t)
+	if _, err := c.Get("nope", "k"); err == nil {
+		t.Error("get from missing bucket should error")
+	}
+	if err := c.Put("nope", "k", nil); err == nil {
+		t.Error("put to missing bucket should error")
+	}
+	if _, err := c.List("nope", ""); err == nil {
+		t.Error("list of missing bucket should error")
+	}
+}
+
+func TestHTTPHandlerDirectRequests(t *testing.T) {
+	store := NewStore(Config{})
+	h := &HTTPHandler{Store: store}
+	// Missing bucket in path.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("GET / = %d", rec.Code)
+	}
+	// Method not allowed on bucket.
+	store.CreateBucket("b")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/b", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /b = %d", rec.Code)
+	}
+	// HEAD existing vs missing object.
+	store.Put("b", "k", []byte("x"))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, "/b/k", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("HEAD /b/k = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, "/b/missing", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("HEAD /b/missing = %d", rec.Code)
+	}
+	// DELETE bucket.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/b", nil))
+	if rec.Code != http.StatusNoContent {
+		t.Errorf("DELETE /b = %d", rec.Code)
+	}
+}
+
+func TestHTTPAccountingFlowsThrough(t *testing.T) {
+	c, store := newHTTPStore(t)
+	c.CreateBucket("b")
+	c.Put("b", "k", make([]byte, 100))
+	c.Get("b", "k")
+	u := store.Usage()
+	if u.BytesIn != 100 || u.BytesOut != 100 {
+		t.Errorf("usage through HTTP: %+v", u)
+	}
+}

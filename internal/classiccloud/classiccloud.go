@@ -1,0 +1,423 @@
+// Package classiccloud implements the paper's Classic Cloud processing
+// model (Figure 1): a client uploads input files to cloud storage and
+// populates a scheduling queue with one task message per file;
+// independent workers running on cloud instances pull tasks from the
+// queue, download the input, run the configured executable, upload the
+// result, and only then delete the task message. The queue's visibility
+// timeout provides fault tolerance — a task whose worker dies reappears
+// and is re-executed — and task idempotency makes duplicate execution
+// harmless. A monitoring queue reports completions back to the client.
+package classiccloud
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/queue"
+)
+
+// Env bundles the cloud infrastructure services a deployment uses —
+// the (S3/Azure Blob, SQS/Azure Queue) pair.
+type Env struct {
+	Blob  *blob.Store
+	Queue *queue.Service
+}
+
+// Task describes one unit of work: a single input file producing a
+// single output file, as in the paper's applications.
+type Task struct {
+	ID           string `json:"id"`
+	InputBucket  string `json:"input_bucket"`
+	InputKey     string `json:"input_key"`
+	OutputBucket string `json:"output_bucket"`
+	OutputKey    string `json:"output_key"`
+}
+
+// Executor is the "configured executable program" a worker runs on each
+// downloaded input file.
+type Executor interface {
+	// Name identifies the application (for queue/bucket naming).
+	Name() string
+	// Execute transforms one input file into one output file. It must be
+	// deterministic or at least idempotent: the Classic Cloud model may
+	// run a task more than once.
+	Execute(task Task, input []byte) ([]byte, error)
+}
+
+// Preloader is implemented by executors that must stage shared data on
+// each instance before processing tasks — the paper's BLAST database
+// download-and-extract step.
+type Preloader interface {
+	Preload(env Env) error
+}
+
+// Config tunes a deployment.
+type Config struct {
+	JobName           string        // names queues and buckets
+	VisibilityTimeout time.Duration // task lease length (default 1m)
+	PollInterval      time.Duration // worker idle poll spacing (default 2ms)
+	DownloadRetries   int           // GET retries for eventual consistency (default 8)
+	RetryBackoff      time.Duration // spacing between download retries (default 2ms)
+	// CrashBeforeDelete is a fault-injection hook: when it returns true
+	// the worker "dies" after executing but before deleting the task, so
+	// the visibility timeout must recover the work.
+	CrashBeforeDelete func(workerID int, task Task) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.JobName == "" {
+		c.JobName = "job"
+	}
+	if c.VisibilityTimeout == 0 {
+		c.VisibilityTimeout = time.Minute
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	if c.DownloadRetries == 0 {
+		c.DownloadRetries = 8
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Queue and bucket names derived from the job name.
+func (c Config) taskQueue() string    { return c.JobName + "-tasks" }
+func (c Config) monitorQueue() string { return c.JobName + "-monitor" }
+
+// InputBucket returns the job's input bucket name.
+func (c Config) InputBucket() string { return c.JobName + "-input" }
+
+// OutputBucket returns the job's output bucket name.
+func (c Config) OutputBucket() string { return c.JobName + "-output" }
+
+// monitorMsg is the completion report workers push to the monitor queue.
+type monitorMsg struct {
+	TaskID   string `json:"task_id"`
+	WorkerID int    `json:"worker_id"`
+	Status   string `json:"status"` // "done"
+}
+
+// Client drives a Classic Cloud job: setup, submission, and completion
+// tracking.
+type Client struct {
+	env Env
+	cfg Config
+}
+
+// NewClient returns a client for the given environment.
+func NewClient(env Env, cfg Config) *Client {
+	return &Client{env: env, cfg: cfg.withDefaults()}
+}
+
+// Setup creates the job's queues and buckets. It is idempotent.
+func (c *Client) Setup() error {
+	for _, q := range []string{c.cfg.taskQueue(), c.cfg.monitorQueue()} {
+		if err := c.env.Queue.CreateQueue(q); err != nil && !errors.Is(err, queue.ErrQueueExists) {
+			return fmt.Errorf("classiccloud: creating queue %s: %w", q, err)
+		}
+	}
+	for _, b := range []string{c.cfg.InputBucket(), c.cfg.OutputBucket()} {
+		if err := c.env.Blob.CreateBucket(b); err != nil && !errors.Is(err, blob.ErrBucketExists) {
+			return fmt.Errorf("classiccloud: creating bucket %s: %w", b, err)
+		}
+	}
+	return nil
+}
+
+// SubmitFiles uploads each named input file to the input bucket and
+// enqueues one task per file. Output keys get an ".out" suffix.
+func (c *Client) SubmitFiles(files map[string][]byte) ([]Task, error) {
+	tasks := make([]Task, 0, len(files))
+	// Deterministic submission order simplifies reproducibility.
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		if err := c.env.Blob.Put(c.cfg.InputBucket(), name, files[name]); err != nil {
+			return nil, fmt.Errorf("classiccloud: uploading %s: %w", name, err)
+		}
+		task := Task{
+			ID:           name,
+			InputBucket:  c.cfg.InputBucket(),
+			InputKey:     name,
+			OutputBucket: c.cfg.OutputBucket(),
+			OutputKey:    name + ".out",
+		}
+		body, err := json.Marshal(task)
+		if err != nil {
+			return nil, fmt.Errorf("classiccloud: encoding task: %w", err)
+		}
+		if _, err := c.env.Queue.SendMessage(c.cfg.taskQueue(), body); err != nil {
+			return nil, fmt.Errorf("classiccloud: enqueueing %s: %w", name, err)
+		}
+		tasks = append(tasks, task)
+	}
+	return tasks, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Report summarizes a completed job.
+type Report struct {
+	Completed     int
+	Duplicates    int // tasks reported done more than once (re-execution)
+	Elapsed       time.Duration
+	QueueRequests int64
+}
+
+// WaitForCompletion drains the monitoring queue until every task has
+// reported done (verifying outputs exist), or the timeout expires.
+func (c *Client) WaitForCompletion(tasks []Task, timeout time.Duration) (Report, error) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	done := make(map[string]bool, len(tasks))
+	dups := 0
+	for len(done) < len(tasks) {
+		if time.Now().After(deadline) {
+			return Report{Completed: len(done), Duplicates: dups, Elapsed: time.Since(start)},
+				fmt.Errorf("classiccloud: timeout after %v with %d/%d tasks complete",
+					timeout, len(done), len(tasks))
+		}
+		m, ok, err := c.env.Queue.ReceiveMessage(c.cfg.monitorQueue(), time.Minute)
+		if err != nil {
+			return Report{}, err
+		}
+		if !ok {
+			time.Sleep(c.cfg.PollInterval)
+			continue
+		}
+		var mm monitorMsg
+		if err := json.Unmarshal(m.Body, &mm); err != nil {
+			return Report{}, fmt.Errorf("classiccloud: bad monitor message: %w", err)
+		}
+		if err := c.env.Queue.DeleteMessage(c.cfg.monitorQueue(), m.ReceiptHandle); err != nil {
+			continue // redelivered monitor message; count once via the map
+		}
+		if done[mm.TaskID] {
+			dups++
+		}
+		done[mm.TaskID] = true
+	}
+	// Verify all outputs are present (consistent read: the client retries
+	// until visible in a real deployment).
+	for _, t := range tasks {
+		if ok, err := c.env.Blob.Exists(t.OutputBucket, t.OutputKey); err != nil || !ok {
+			return Report{}, fmt.Errorf("classiccloud: output %s missing after completion", t.OutputKey)
+		}
+	}
+	return Report{
+		Completed:     len(done),
+		Duplicates:    dups,
+		Elapsed:       time.Since(start),
+		QueueRequests: c.env.Queue.APIRequests(),
+	}, nil
+}
+
+// Progress is a point-in-time view of a running job, assembled from the
+// monitoring queue's approximate counts — the paper's "monitoring
+// message queue to monitor the progress of the computation".
+type Progress struct {
+	TasksQueued   int // visible task messages (not yet picked up)
+	TasksInFlight int // leased to a worker, not yet acknowledged
+	Reported      int // completion reports waiting in the monitor queue
+}
+
+// Progress samples the job's queues. Counts are approximate in exactly
+// the way the underlying queue service's counts are.
+func (c *Client) Progress() (Progress, error) {
+	var p Progress
+	v, f, err := c.env.Queue.ApproximateCount(c.cfg.taskQueue())
+	if err != nil {
+		return p, err
+	}
+	p.TasksQueued, p.TasksInFlight = v, f
+	v, f, err = c.env.Queue.ApproximateCount(c.cfg.monitorQueue())
+	if err != nil {
+		return p, err
+	}
+	p.Reported = v + f
+	return p, nil
+}
+
+// CollectOutputs downloads every task output.
+func (c *Client) CollectOutputs(tasks []Task) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(tasks))
+	for _, t := range tasks {
+		data, err := c.env.Blob.GetConsistent(t.OutputBucket, t.OutputKey)
+		if err != nil {
+			return nil, fmt.Errorf("classiccloud: collecting %s: %w", t.OutputKey, err)
+		}
+		out[t.ID] = data
+	}
+	return out, nil
+}
+
+// Instance models one cloud VM running a pool of worker processes, the
+// paper's "number of workers per instance" knob.
+type Instance struct {
+	env     Env
+	cfg     Config
+	exec    Executor
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	stats   InstanceStats
+	stopped atomic.Bool
+}
+
+// InstanceStats counts worker activity.
+type InstanceStats struct {
+	TasksExecuted  atomic.Int64
+	TasksAbandoned atomic.Int64 // crash-injected abandonments
+	ExecErrors     atomic.Int64
+	StaleDeletes   atomic.Int64 // task finished by us but lease had expired
+	DownloadRetrys atomic.Int64
+}
+
+// StartInstance launches workersPerInstance worker goroutines. The
+// executor's Preload (if any) runs once before workers start, like the
+// paper's database staging.
+func StartInstance(env Env, cfg Config, exec Executor, workersPerInstance int) (*Instance, error) {
+	cfg = cfg.withDefaults()
+	inst := &Instance{env: env, cfg: cfg, exec: exec, stop: make(chan struct{})}
+	if p, ok := exec.(Preloader); ok {
+		if err := p.Preload(env); err != nil {
+			return nil, fmt.Errorf("classiccloud: preload: %w", err)
+		}
+	}
+	for w := 0; w < workersPerInstance; w++ {
+		inst.wg.Add(1)
+		go inst.workerLoop(w)
+	}
+	return inst, nil
+}
+
+// Stop shuts the instance down and waits for workers to exit.
+func (inst *Instance) Stop() {
+	if inst.stopped.CompareAndSwap(false, true) {
+		close(inst.stop)
+	}
+	inst.wg.Wait()
+}
+
+// Stats exposes the instance counters.
+func (inst *Instance) Stats() *InstanceStats { return &inst.stats }
+
+func (inst *Instance) workerLoop(workerID int) {
+	defer inst.wg.Done()
+	for {
+		select {
+		case <-inst.stop:
+			return
+		default:
+		}
+		m, ok, err := inst.env.Queue.ReceiveMessage(inst.cfg.taskQueue(), inst.cfg.VisibilityTimeout)
+		if err != nil || !ok {
+			select {
+			case <-inst.stop:
+				return
+			case <-time.After(inst.cfg.PollInterval):
+			}
+			continue
+		}
+		var task Task
+		if err := json.Unmarshal(m.Body, &task); err != nil {
+			// Poison message: drop it so it cannot wedge the queue.
+			_ = inst.env.Queue.DeleteMessage(inst.cfg.taskQueue(), m.ReceiptHandle)
+			continue
+		}
+		inst.processTask(workerID, task, m.ReceiptHandle)
+	}
+}
+
+// processTask is the worker pipeline of Figure 1: download → execute →
+// upload → delete → report.
+func (inst *Instance) processTask(workerID int, task Task, receipt string) {
+	input, err := inst.downloadWithRetry(task.InputBucket, task.InputKey)
+	if err != nil {
+		// Leave the message undeleted; it will reappear and be retried.
+		inst.stats.ExecErrors.Add(1)
+		return
+	}
+	output, err := inst.exec.Execute(task, input)
+	if err != nil {
+		inst.stats.ExecErrors.Add(1)
+		return // visibility timeout will re-expose the task
+	}
+	if inst.cfg.CrashBeforeDelete != nil && inst.cfg.CrashBeforeDelete(workerID, task) {
+		// Simulated worker death after doing the work but before the
+		// acknowledgement: the canonical at-least-once failure.
+		inst.stats.TasksAbandoned.Add(1)
+		return
+	}
+	if err := inst.env.Blob.Put(task.OutputBucket, task.OutputKey, output); err != nil {
+		inst.stats.ExecErrors.Add(1)
+		return
+	}
+	inst.stats.TasksExecuted.Add(1)
+	if err := inst.env.Queue.DeleteMessage(inst.cfg.taskQueue(), receipt); err != nil {
+		// Our lease expired and the task was re-issued; the result is
+		// already uploaded and tasks are idempotent, so this is harmless.
+		inst.stats.StaleDeletes.Add(1)
+	}
+	mm, _ := json.Marshal(monitorMsg{TaskID: task.ID, WorkerID: workerID, Status: "done"})
+	_, _ = inst.env.Queue.SendMessage(inst.cfg.monitorQueue(), mm)
+}
+
+// downloadWithRetry tolerates eventual-consistency NotFound responses by
+// retrying, the standard client pattern on S3-era storage.
+func (inst *Instance) downloadWithRetry(bucket, key string) ([]byte, error) {
+	var lastErr error
+	for i := 0; i < inst.cfg.DownloadRetries; i++ {
+		data, err := inst.env.Blob.Get(bucket, key)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !errors.Is(err, blob.ErrNoSuchKey) {
+			return nil, err
+		}
+		inst.stats.DownloadRetrys.Add(1)
+		time.Sleep(inst.cfg.RetryBackoff)
+	}
+	return nil, fmt.Errorf("classiccloud: download %s/%s: %w", bucket, key, lastErr)
+}
+
+// FuncExecutor adapts a function to the Executor interface.
+type FuncExecutor struct {
+	AppName string
+	Fn      func(task Task, input []byte) ([]byte, error)
+}
+
+// Name implements Executor.
+func (f FuncExecutor) Name() string { return f.AppName }
+
+// Execute implements Executor.
+func (f FuncExecutor) Execute(task Task, input []byte) ([]byte, error) { return f.Fn(task, input) }
+
+// Validate sanity-checks a task.
+func (t Task) Validate() error {
+	if t.ID == "" || t.InputKey == "" || t.OutputKey == "" {
+		return errors.New("classiccloud: incomplete task")
+	}
+	if strings.ContainsRune(t.ID, '\n') {
+		return errors.New("classiccloud: task id contains newline")
+	}
+	return nil
+}

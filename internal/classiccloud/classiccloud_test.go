@@ -1,0 +1,437 @@
+package classiccloud
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/queue"
+)
+
+func testEnv() Env {
+	return Env{
+		Blob:  blob.NewStore(blob.Config{}),
+		Queue: queue.NewService(queue.Config{Seed: 1}),
+	}
+}
+
+// upperExec is a trivial idempotent executable.
+var upperExec = FuncExecutor{
+	AppName: "upper",
+	Fn: func(_ Task, input []byte) ([]byte, error) {
+		return bytes.ToUpper(input), nil
+	},
+}
+
+// slowUpperExec takes long enough per task that work interleaves across
+// workers and instances.
+var slowUpperExec = FuncExecutor{
+	AppName: "slow-upper",
+	Fn: func(_ Task, input []byte) ([]byte, error) {
+		time.Sleep(3 * time.Millisecond)
+		return bytes.ToUpper(input), nil
+	},
+}
+
+func makeFiles(n int) map[string][]byte {
+	files := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		files[fmt.Sprintf("file%03d.txt", i)] = []byte(fmt.Sprintf("content of file %d", i))
+	}
+	return files
+}
+
+func TestEndToEndSingleInstance(t *testing.T) {
+	env := testEnv()
+	cfg := Config{JobName: "e2e"}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	files := makeFiles(20)
+	tasks, err := client.SubmitFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 20 {
+		t.Fatalf("%d tasks", len(tasks))
+	}
+	inst, err := StartInstance(env, cfg, upperExec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	rep, err := client.WaitForCompletion(tasks, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 20 {
+		t.Errorf("completed = %d", rep.Completed)
+	}
+	outputs, err := client.CollectOutputs(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range files {
+		if got := outputs[name]; !bytes.Equal(got, bytes.ToUpper(in)) {
+			t.Errorf("%s: output %q", name, got)
+		}
+	}
+}
+
+func TestMultipleInstancesShareQueue(t *testing.T) {
+	env := testEnv()
+	cfg := Config{JobName: "multi"}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := client.SubmitFiles(makeFiles(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var instances []*Instance
+	for i := 0; i < 4; i++ {
+		inst, err := StartInstance(env, cfg, slowUpperExec, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, inst)
+	}
+	defer func() {
+		for _, in := range instances {
+			in.Stop()
+		}
+	}()
+	if _, err := client.WaitForCompletion(tasks, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic scheduling through the global queue: with 4 identical
+	// instances, no single instance should have done all the work.
+	total := int64(0)
+	busiest := int64(0)
+	for _, in := range instances {
+		n := in.Stats().TasksExecuted.Load()
+		total += n
+		if n > busiest {
+			busiest = n
+		}
+	}
+	if total < 40 {
+		t.Errorf("total executed = %d, want ≥ 40", total)
+	}
+	if busiest == total {
+		t.Error("one instance executed everything; queue sharing broken")
+	}
+}
+
+func TestVisibilityTimeoutRecoversCrashedWorker(t *testing.T) {
+	env := testEnv()
+	var crashes atomic.Int64
+	cfg := Config{
+		JobName:           "crashy",
+		VisibilityTimeout: 150 * time.Millisecond,
+		// First three tasks observed by worker 0 are abandoned after
+		// execution, before deletion.
+		CrashBeforeDelete: func(workerID int, task Task) bool {
+			return workerID == 0 && crashes.Add(1) <= 3
+		},
+	}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := client.SubmitFiles(makeFiles(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := StartInstance(env, cfg, slowUpperExec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	rep, err := client.WaitForCompletion(tasks, 15*time.Second)
+	if err != nil {
+		t.Fatalf("job did not recover from crashes: %v", err)
+	}
+	if rep.Completed != 12 {
+		t.Errorf("completed = %d", rep.Completed)
+	}
+	if inst.Stats().TasksAbandoned.Load() == 0 {
+		t.Error("crash injection never fired")
+	}
+}
+
+func TestEventualConsistencyRetries(t *testing.T) {
+	// A consistency window shorter than the retry budget: downloads
+	// must succeed via retry.
+	env := Env{
+		Blob:  blob.NewStore(blob.Config{ConsistencyWindow: 20 * time.Millisecond}),
+		Queue: queue.NewService(queue.Config{Seed: 2}),
+	}
+	cfg := Config{JobName: "ec", DownloadRetries: 30, RetryBackoff: 5 * time.Millisecond}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := client.SubmitFiles(makeFiles(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := StartInstance(env, cfg, upperExec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	if _, err := client.WaitForCompletion(tasks, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Stats().DownloadRetrys.Load() == 0 {
+		t.Log("note: no retries observed (tasks started after the window); acceptable")
+	}
+}
+
+func TestFailingExecutorRetriesViaTimeout(t *testing.T) {
+	env := testEnv()
+	var failures atomic.Int64
+	flaky := FuncExecutor{
+		AppName: "flaky",
+		Fn: func(task Task, input []byte) ([]byte, error) {
+			// Fail the first two attempts overall.
+			if failures.Add(1) <= 2 {
+				return nil, errors.New("transient failure")
+			}
+			return bytes.ToUpper(input), nil
+		},
+	}
+	cfg := Config{JobName: "flaky", VisibilityTimeout: 100 * time.Millisecond}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := client.SubmitFiles(makeFiles(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := StartInstance(env, cfg, flaky, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	if _, err := client.WaitForCompletion(tasks, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Stats().ExecErrors.Load() < 2 {
+		t.Errorf("ExecErrors = %d, want ≥ 2", inst.Stats().ExecErrors.Load())
+	}
+}
+
+type preloadExec struct {
+	FuncExecutor
+	preloaded atomic.Bool
+}
+
+func (p *preloadExec) Preload(env Env) error {
+	// Fetch the shared reference data, like the BLAST DB download.
+	if _, err := env.Blob.GetConsistent("shared", "refdata"); err != nil {
+		return err
+	}
+	p.preloaded.Store(true)
+	return nil
+}
+
+func TestPreloadRunsBeforeWorkers(t *testing.T) {
+	env := testEnv()
+	env.Blob.CreateBucket("shared")
+	env.Blob.Put("shared", "refdata", []byte("reference"))
+	pe := &preloadExec{FuncExecutor: upperExec}
+	cfg := Config{JobName: "preload"}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := StartInstance(env, cfg, pe, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	if !pe.preloaded.Load() {
+		t.Error("preload did not run")
+	}
+}
+
+func TestPreloadFailureAbortsInstance(t *testing.T) {
+	env := testEnv()
+	pe := &preloadExec{FuncExecutor: upperExec} // bucket "shared" missing
+	cfg := Config{JobName: "preloadfail"}
+	if _, err := StartInstance(env, cfg, pe, 1); err == nil {
+		t.Fatal("missing preload data should abort instance start")
+	}
+}
+
+func TestSetupIsIdempotent(t *testing.T) {
+	env := testEnv()
+	client := NewClient(env, Config{JobName: "idem"})
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Setup(); err != nil {
+		t.Errorf("second Setup: %v", err)
+	}
+}
+
+func TestWaitTimesOutWithoutWorkers(t *testing.T) {
+	env := testEnv()
+	client := NewClient(env, Config{JobName: "nobody"})
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tasks, _ := client.SubmitFiles(makeFiles(2))
+	_, err := client.WaitForCompletion(tasks, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPoisonMessageDoesNotWedgeWorkers(t *testing.T) {
+	env := testEnv()
+	cfg := Config{JobName: "poison"}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	// Inject garbage directly into the task queue.
+	env.Queue.SendMessage("poison-tasks", []byte("{{{not json"))
+	tasks, err := client.SubmitFiles(makeFiles(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := StartInstance(env, cfg, upperExec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	if _, err := client.WaitForCompletion(tasks, 10*time.Second); err != nil {
+		t.Fatalf("poison message wedged the job: %v", err)
+	}
+}
+
+func TestDuplicateDeliveryIsIdempotent(t *testing.T) {
+	// Force aggressive duplicate delivery; every task may run twice but
+	// results must be correct and the job must finish.
+	env := Env{
+		Blob:  blob.NewStore(blob.Config{}),
+		Queue: queue.NewService(queue.Config{Seed: 5, DuplicateProb: 0.3}),
+	}
+	cfg := Config{JobName: "dup"}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	files := makeFiles(15)
+	tasks, err := client.SubmitFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := StartInstance(env, cfg, upperExec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	if _, err := client.WaitForCompletion(tasks, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	outputs, err := client.CollectOutputs(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range files {
+		if !bytes.Equal(outputs[name], bytes.ToUpper(in)) {
+			t.Errorf("%s corrupted under duplicate delivery", name)
+		}
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	good := Task{ID: "a", InputKey: "a", OutputKey: "a.out"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid task rejected: %v", err)
+	}
+	bad := Task{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty task accepted")
+	}
+	evil := Task{ID: "a\nb", InputKey: "x", OutputKey: "y"}
+	if err := evil.Validate(); err == nil {
+		t.Error("newline id accepted")
+	}
+}
+
+func TestStopIsIdempotentAndConcurrent(t *testing.T) {
+	env := testEnv()
+	cfg := Config{JobName: "stop"}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := StartInstance(env, cfg, upperExec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inst.Stop()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestProgressTracking(t *testing.T) {
+	env := testEnv()
+	cfg := Config{JobName: "progress"}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := client.SubmitFiles(makeFiles(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.Progress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TasksQueued != 10 || p.TasksInFlight != 0 || p.Reported != 0 {
+		t.Errorf("before workers: %+v", p)
+	}
+	inst, err := StartInstance(env, cfg, upperExec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	if _, err := client.WaitForCompletion(tasks, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p, err = client.Progress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TasksQueued != 0 || p.TasksInFlight != 0 {
+		t.Errorf("after completion: %+v", p)
+	}
+	if _, err := NewClient(env, Config{JobName: "ghost"}).Progress(); err == nil {
+		t.Error("progress of unknown job should error")
+	}
+}

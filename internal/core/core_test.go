@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+var toUpper = FuncApp{
+	AppName: "upper",
+	Fn: func(name string, input []byte) ([]byte, error) {
+		return bytes.ToUpper(input), nil
+	},
+}
+
+func inputFiles(n int) map[string][]byte {
+	files := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		files[fmt.Sprintf("f%03d.txt", i)] = []byte(fmt.Sprintf("input %d", i))
+	}
+	return files
+}
+
+// allRunners returns one configured runner per backend.
+func allRunners() []Runner {
+	return []Runner{
+		ClassicCloudRunner{Instances: 2, WorkersPerInstance: 2},
+		MapReduceRunner{Nodes: 3, SlotsPerNode: 2},
+		DryadRunner{Nodes: 3, SlotsPerNode: 2},
+	}
+}
+
+func TestAllBackendsProduceIdenticalOutputs(t *testing.T) {
+	files := inputFiles(12)
+	want := map[string][]byte{}
+	for name, in := range files {
+		want[name] = bytes.ToUpper(in)
+	}
+	for _, r := range allRunners() {
+		t.Run(r.Backend(), func(t *testing.T) {
+			res, err := r.Run(toUpper, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(files, res); err != nil {
+				t.Fatal(err)
+			}
+			for name, w := range want {
+				if !bytes.Equal(res.Outputs[name], w) {
+					t.Errorf("%s: output %q, want %q", name, res.Outputs[name], w)
+				}
+			}
+			if res.Elapsed <= 0 {
+				t.Error("elapsed not recorded")
+			}
+			if res.Backend != r.Backend() {
+				t.Errorf("backend label = %q", res.Backend)
+			}
+		})
+	}
+}
+
+func TestEmptyInputRejectedEverywhere(t *testing.T) {
+	for _, r := range allRunners() {
+		if _, err := r.Run(toUpper, nil); !errors.Is(err, ErrNoInput) {
+			t.Errorf("%s: %v, want ErrNoInput", r.Backend(), err)
+		}
+	}
+}
+
+// sharedApp requires a reference table before processing.
+type sharedApp struct {
+	mu     sync.Mutex
+	loaded map[string][]byte
+}
+
+func (s *sharedApp) Name() string { return "shared-app" }
+
+func (s *sharedApp) SharedData() map[string][]byte {
+	return map[string][]byte{"refdb": []byte("REF")}
+}
+
+func (s *sharedApp) LoadShared(files map[string][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := files["refdb"]; !ok {
+		return fmt.Errorf("refdb missing from staged files: %v", keys(files))
+	}
+	s.loaded = files
+	return nil
+}
+
+func keys(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (s *sharedApp) Process(name string, input []byte) ([]byte, error) {
+	s.mu.Lock()
+	ref := s.loaded["refdb"]
+	s.mu.Unlock()
+	if ref == nil {
+		return nil, errors.New("Process called before LoadShared")
+	}
+	return append(append([]byte{}, input...), ref...), nil
+}
+
+func TestSharedDataStagedOnEveryBackend(t *testing.T) {
+	files := inputFiles(6)
+	for _, r := range allRunners() {
+		t.Run(r.Backend(), func(t *testing.T) {
+			app := &sharedApp{}
+			res, err := r.Run(app, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, in := range files {
+				want := append(append([]byte{}, in...), []byte("REF")...)
+				if !bytes.Equal(res.Outputs[name], want) {
+					t.Errorf("%s: %q, want %q", name, res.Outputs[name], want)
+				}
+			}
+		})
+	}
+}
+
+func TestApplicationErrorSurfacesFromMapReduceAndDryad(t *testing.T) {
+	bad := FuncApp{
+		AppName: "bad",
+		Fn: func(name string, input []byte) ([]byte, error) {
+			return nil, errors.New("application exploded")
+		},
+	}
+	// MapReduce and Dryad retry then fail the job. (Classic Cloud retries
+	// forever via the visibility timeout and would hit its job timeout
+	// instead; covered in the classiccloud package tests.)
+	for _, r := range []Runner{
+		MapReduceRunner{Nodes: 2, SlotsPerNode: 1},
+		DryadRunner{Nodes: 2, SlotsPerNode: 1},
+	} {
+		if _, err := r.Run(bad, inputFiles(3)); err == nil {
+			t.Errorf("%s: expected failure", r.Backend())
+		}
+	}
+}
+
+func TestVerifyDetectsMissingOutputs(t *testing.T) {
+	files := inputFiles(2)
+	if err := Verify(files, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	res := &RunResult{Outputs: map[string][]byte{"f000.txt": nil}}
+	if err := Verify(files, res); err == nil {
+		t.Error("short output set accepted")
+	}
+	res.Outputs["wrong-name"] = nil
+	if err := Verify(files, res); err == nil {
+		t.Error("mismatched names accepted")
+	}
+}
+
+func TestMapReduceSpeculativeConfig(t *testing.T) {
+	r := MapReduceRunner{Nodes: 2, SlotsPerNode: 2, Speculative: true}
+	res, err := r.Run(toUpper, inputFiles(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(inputFiles(8), res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnersDefaultConfiguration(t *testing.T) {
+	// Zero-valued runners must still work via defaults.
+	for _, r := range []Runner{ClassicCloudRunner{}, MapReduceRunner{}, DryadRunner{}} {
+		res, err := r.Run(toUpper, inputFiles(3))
+		if err != nil {
+			t.Errorf("%s with defaults: %v", r.Backend(), err)
+			continue
+		}
+		if len(res.Outputs) != 3 {
+			t.Errorf("%s: %d outputs", r.Backend(), len(res.Outputs))
+		}
+	}
+}
+
+func TestDetailCountersPresent(t *testing.T) {
+	res, err := MapReduceRunner{Nodes: 2, SlotsPerNode: 1}.Run(toUpper, inputFiles(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"nodes", "attempts", "locality_fraction"} {
+		if _, ok := res.Detail[k]; !ok {
+			t.Errorf("detail missing %q: %v", k, res.Detail)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package fasta
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadSingleRecord(t *testing.T) {
+	in := ">seq1 a test sequence\nACGT\nACGT\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.ID != "seq1" {
+		t.Errorf("ID = %q, want seq1", r.ID)
+	}
+	if r.Description != "a test sequence" {
+		t.Errorf("Description = %q", r.Description)
+	}
+	if string(r.Seq) != "ACGTACGT" {
+		t.Errorf("Seq = %q, want ACGTACGT", r.Seq)
+	}
+}
+
+func TestReadMultipleRecords(t *testing.T) {
+	in := ">a\nAC\n>b desc here\nGT\nTT\n\n>c\nAAAA"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	want := []struct{ id, seq string }{{"a", "AC"}, {"b", "GTTT"}, {"c", "AAAA"}}
+	for i, w := range want {
+		if recs[i].ID != w.id || string(recs[i].Seq) != w.seq {
+			t.Errorf("rec %d = (%q,%q), want (%q,%q)", i, recs[i].ID, recs[i].Seq, w.id, w.seq)
+		}
+	}
+}
+
+func TestReadEmptyInput(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("got %d records, want 0", len(recs))
+	}
+}
+
+func TestReadBlankLinesOnly(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader("\n\n  \n"))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("got %d records, want 0", len(recs))
+	}
+}
+
+func TestSequenceBeforeHeaderIsError(t *testing.T) {
+	_, err := ReadAll(strings.NewReader("ACGT\n>a\nAC\n"))
+	if err == nil {
+		t.Fatal("expected error for sequence before header")
+	}
+}
+
+func TestEmptySequenceRecord(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(">empty\n>next\nAC\n"))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Len() != 0 {
+		t.Errorf("first record len = %d, want 0", recs[0].Len())
+	}
+	if string(recs[1].Seq) != "AC" {
+		t.Errorf("second record seq = %q", recs[1].Seq)
+	}
+}
+
+func TestReaderNextEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(">a\nAC\n"))
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("second Next err = %v, want io.EOF", err)
+	}
+	// Subsequent calls keep returning EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("third Next err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriterWrapping(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Width = 4
+	if err := w.Write(&Record{ID: "x", Seq: []byte("ACGTACGTAC")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := ">x\nACGT\nACGT\nAC\n"
+	if buf.String() != want {
+		t.Errorf("output = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriterUnwrapped(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Width = 0
+	if err := w.Write(&Record{ID: "x", Description: "d", Seq: []byte("ACGT")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := ">x d\nACGT\n"
+	if buf.String() != want {
+		t.Errorf("output = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	recs := []*Record{
+		{ID: "r1", Description: "first read", Seq: []byte("ACGTTGCA")},
+		{ID: "r2", Seq: []byte("GGGG")},
+	}
+	doc, err := MarshalRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBytes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].ID != recs[i].ID || back[i].Description != recs[i].Description ||
+			!bytes.Equal(back[i].Seq, recs[i].Seq) {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestCountRecords(t *testing.T) {
+	doc := []byte(">a\nAC\n>b\nGT\n>c\nTT\n")
+	n, err := CountRecords(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("CountRecords = %d, want 3", n)
+	}
+}
+
+// Property: Marshal → Parse is the identity on well-formed records,
+// independent of line width.
+func TestQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(nRecs uint8, width uint8) bool {
+		n := int(nRecs%8) + 1
+		recs := make([]*Record, n)
+		for i := range recs {
+			seq := make([]byte, rng.Intn(200))
+			for j := range seq {
+				seq[j] = "ACGT"[rng.Intn(4)]
+			}
+			recs[i] = &Record{ID: "id" + string(rune('a'+i)), Seq: seq}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Width = int(width%80) + 1
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		back, err := ParseBytes(buf.Bytes())
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range recs {
+			if back[i].ID != recs[i].ID || !bytes.Equal(back[i].Seq, recs[i].Seq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongSequenceLine(t *testing.T) {
+	long := strings.Repeat("ACGT", 100000) // 400kB single line
+	recs, err := ReadAll(strings.NewReader(">big\n" + long + "\n"))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Len() != 400000 {
+		t.Fatalf("got %d records, len %d", len(recs), recs[0].Len())
+	}
+}

@@ -1,0 +1,307 @@
+package gtm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/workload"
+)
+
+func trainSmall(t *testing.T, n int) (*Model, []float64, []int) {
+	t.Helper()
+	pts, labels := workload.ChemicalPointsLabeled(3, n, 3)
+	model, err := Train(pts, workload.PubChemDims, Config{
+		LatentGridSize: 8,
+		BasisGridSize:  3,
+		MaxIter:        20,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return model, pts, labels
+}
+
+func TestGridShape(t *testing.T) {
+	g := grid(4)
+	if g.Rows != 16 || g.Cols != 2 {
+		t.Fatalf("grid shape %dx%d", g.Rows, g.Cols)
+	}
+	// Corners must be at ±1.
+	first, last := g.Row(0), g.Row(15)
+	if first[0] != -1 || first[1] != -1 || last[0] != 1 || last[1] != 1 {
+		t.Errorf("grid corners: %v, %v", first, last)
+	}
+	single := grid(1)
+	if single.Row(0)[0] != 0 || single.Row(0)[1] != 0 {
+		t.Error("1-point grid should sit at origin")
+	}
+}
+
+func TestBasisMatrixProperties(t *testing.T) {
+	latent := grid(5)
+	centers := grid(2)
+	phi := basisMatrix(latent, centers, 1.0)
+	if phi.Rows != 25 || phi.Cols != 5 {
+		t.Fatalf("phi shape %dx%d", phi.Rows, phi.Cols)
+	}
+	for i := 0; i < phi.Rows; i++ {
+		row := phi.Row(i)
+		if row[len(row)-1] != 1 {
+			t.Errorf("row %d bias = %v, want 1", i, row[len(row)-1])
+		}
+		for j := 0; j < len(row)-1; j++ {
+			if row[j] <= 0 || row[j] > 1 {
+				t.Errorf("phi[%d][%d] = %v outside (0,1]", i, j, row[j])
+			}
+		}
+	}
+}
+
+func TestTrainImprovesLikelihood(t *testing.T) {
+	model, _, _ := trainSmall(t, 300)
+	if len(model.LogL) < 2 {
+		t.Fatalf("only %d iterations recorded", len(model.LogL))
+	}
+	first, last := model.LogL[0], model.LogL[len(model.LogL)-1]
+	if last <= first {
+		t.Errorf("log-likelihood did not improve: %.2f → %.2f", first, last)
+	}
+	// EM must be (near-)monotonic.
+	for i := 1; i < len(model.LogL); i++ {
+		if model.LogL[i] < model.LogL[i-1]-math.Abs(model.LogL[i-1])*1e-6 {
+			t.Errorf("log-likelihood decreased at iter %d: %.4f → %.4f",
+				i, model.LogL[i-1], model.LogL[i])
+		}
+	}
+	if model.Beta <= 0 {
+		t.Errorf("beta = %v, want positive", model.Beta)
+	}
+}
+
+func TestInterpolateSeparatesClusters(t *testing.T) {
+	model, _, _ := trainSmall(t, 300)
+	// Fresh out-of-sample points from the same generator distribution.
+	pts, labels := workload.ChemicalPointsLabeled(3, 200, 3)
+	coords, err := model.Interpolate(pts, workload.PubChemDims)
+	if err != nil {
+		t.Fatalf("Interpolate: %v", err)
+	}
+	if len(coords) != 200*LatentDims {
+		t.Fatalf("got %d coords", len(coords))
+	}
+	// All embeddings must live inside the latent square.
+	for i := 0; i < len(coords); i++ {
+		if coords[i] < -1-1e-9 || coords[i] > 1+1e-9 {
+			t.Fatalf("coord %d = %v outside [-1,1]", i, coords[i])
+		}
+	}
+	// Same-cluster latent distances must be smaller on average than
+	// cross-cluster distances: the map separates the mixture.
+	var same, cross float64
+	var nSame, nCross int
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			d := linalg.SquaredDistance(coords[i*2:i*2+2], coords[j*2:j*2+2])
+			if labels[i] == labels[j] {
+				same += d
+				nSame++
+			} else {
+				cross += d
+				nCross++
+			}
+		}
+	}
+	if nSame == 0 || nCross == 0 {
+		t.Skip("degenerate labels")
+	}
+	if same/float64(nSame) >= cross/float64(nCross) {
+		t.Errorf("within-cluster latent distance %.4f ≥ cross-cluster %.4f",
+			same/float64(nSame), cross/float64(nCross))
+	}
+}
+
+func TestInterpolateMatchesTrainingAssignments(t *testing.T) {
+	model, pts, _ := trainSmall(t, 200)
+	// Interpolating the training points should give finite, in-square coords.
+	coords, err := model.Interpolate(pts, workload.PubChemDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range coords {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatal("non-finite embedding")
+		}
+	}
+}
+
+func TestTrainInputValidation(t *testing.T) {
+	if _, err := Train(nil, 10, Config{}); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := Train(make([]float64, 7), 3, Config{}); err == nil {
+		t.Error("ragged data should error")
+	}
+	if _, err := Train(make([]float64, 6), 0, Config{}); err == nil {
+		t.Error("zero dims should error")
+	}
+	if _, err := Train(make([]float64, 3), 3, Config{}); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+func TestInterpolateDimsMismatch(t *testing.T) {
+	model, _, _ := trainSmall(t, 100)
+	if _, err := model.Interpolate(make([]float64, 10), 10); err == nil {
+		t.Error("dims mismatch should error")
+	}
+	if _, err := model.Interpolate(make([]float64, workload.PubChemDims+1), workload.PubChemDims); err == nil {
+		t.Error("ragged points should error")
+	}
+}
+
+func TestResponsibilitiesSumToOne(t *testing.T) {
+	model, pts, _ := trainSmall(t, 120)
+	x := &linalg.Matrix{Rows: 120, Cols: workload.PubChemDims, Data: pts}
+	r, _, err := responsibilities(model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < x.Rows; j++ {
+		sum := 0.0
+		for i := 0; i < model.K(); i++ {
+			v := r.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("r[%d][%d] = %v outside [0,1]", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("column %d sums to %v", j, sum)
+		}
+	}
+}
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	model, pts, _ := trainSmall(t, 150)
+	blob, err := model.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Beta != model.Beta || back.D != model.D {
+		t.Errorf("scalar fields differ: beta %v vs %v, D %d vs %d",
+			back.Beta, model.Beta, back.D, model.D)
+	}
+	a, err := model.Interpolate(pts[:10*workload.PubChemDims], workload.PubChemDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Interpolate(pts[:10*workload.PubChemDims], workload.PubChemDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("embedding %d differs after round trip: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUnmarshalModelCorrupt(t *testing.T) {
+	if _, err := UnmarshalModel([]byte("junk")); err == nil {
+		t.Error("corrupt model should error")
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	pts := workload.ChemicalPoints(9, 40, 2)
+	blob, err := EncodeShard(pts, workload.PubChemDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, dims, err := DecodeShard(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims != workload.PubChemDims || len(back) != len(pts) {
+		t.Fatalf("shape %d×? dims=%d", len(back), dims)
+	}
+	for i := range pts {
+		if back[i] != pts[i] {
+			t.Fatal("shard values differ")
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	if _, err := EncodeShard(make([]float64, 5), 2); err == nil {
+		t.Error("ragged shard should error")
+	}
+	if _, _, err := DecodeShard([]byte("definitely not gzip")); err == nil {
+		t.Error("corrupt shard should error")
+	}
+}
+
+// Property: embedding round trip is exact for arbitrary float vectors.
+func TestQuickEmbeddingRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		back, err := DecodeEmbedding(EncodeEmbedding(vals))
+		if err != nil || len(back) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaN-safe comparison via bit equality semantics.
+			if back[i] != vals[i] && !(math.IsNaN(back[i]) && math.IsNaN(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	model, _, _ := trainSmall(t, 150)
+	pts := workload.ChemicalPoints(11, 60, 3)
+	shard, err := EncodeShard(pts, workload.PubChemDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(model, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords, err := DecodeEmbedding(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != 60*LatentDims {
+		t.Fatalf("got %d coords, want %d", len(coords), 60*LatentDims)
+	}
+}
+
+func BenchmarkInterpolate1000Points(b *testing.B) {
+	pts, _ := workload.ChemicalPointsLabeled(3, 300, 3)
+	model, err := Train(pts, workload.PubChemDims, Config{
+		LatentGridSize: 8, BasisGridSize: 3, MaxIter: 10, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := workload.ChemicalPoints(21, 1000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Interpolate(sample, workload.PubChemDims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package gtm
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// modelWire is the serialized form of a trained model.
+type modelWire struct {
+	LatentRows, LatentCols int
+	Latent                 []float64
+	PhiRows, PhiCols       int
+	Phi                    []float64
+	WRows, WCols           int
+	W                      []float64
+	Beta                   float64
+	D                      int
+}
+
+// Marshal serializes a trained model (the artifact shipped to every
+// worker before interpolation starts, like the paper's trained 100k-point
+// GTM seed).
+func (m *Model) Marshal() ([]byte, error) {
+	wire := modelWire{
+		LatentRows: m.Latent.Rows, LatentCols: m.Latent.Cols, Latent: m.Latent.Data,
+		PhiRows: m.Phi.Rows, PhiCols: m.Phi.Cols, Phi: m.Phi.Data,
+		WRows: m.W.Rows, WCols: m.W.Cols, W: m.W.Data,
+		Beta: m.Beta, D: m.D,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("gtm: encoding model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalModel reverses Marshal.
+func UnmarshalModel(data []byte) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("gtm: decoding model: %w", err)
+	}
+	if wire.LatentRows == 0 || wire.PhiRows == 0 || wire.WRows == 0 {
+		return nil, fmt.Errorf("gtm: corrupt model")
+	}
+	return &Model{
+		Latent: &linalg.Matrix{Rows: wire.LatentRows, Cols: wire.LatentCols, Data: wire.Latent},
+		Phi:    &linalg.Matrix{Rows: wire.PhiRows, Cols: wire.PhiCols, Data: wire.Phi},
+		W:      &linalg.Matrix{Rows: wire.WRows, Cols: wire.WCols, Data: wire.W},
+		Beta:   wire.Beta,
+		D:      wire.D,
+	}, nil
+}
+
+// shardMagic marks encoded data shards.
+const shardMagic = 0x47544d31 // "GTM1"
+
+// EncodeShard packs a block of points into the compressed on-storage
+// format, mirroring the paper's "compressed data splits, which were
+// unzipped before handing over to the executable".
+func EncodeShard(points []float64, dims int) ([]byte, error) {
+	if dims <= 0 || len(points)%dims != 0 {
+		return nil, fmt.Errorf("gtm: bad shard shape: %d values, %d dims", len(points), dims)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], shardMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(dims))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(points)/dims))
+	if _, err := zw.Write(hdr); err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 8*len(points))
+	for i, v := range points {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	if _, err := zw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeShard reverses EncodeShard.
+func DecodeShard(data []byte) (points []float64, dims int, err error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, fmt.Errorf("gtm: decompressing shard: %w", err)
+	}
+	defer zr.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(zr); err != nil {
+		return nil, 0, fmt.Errorf("gtm: reading shard: %w", err)
+	}
+	b := raw.Bytes()
+	if len(b) < 12 || binary.LittleEndian.Uint32(b[0:]) != shardMagic {
+		return nil, 0, fmt.Errorf("gtm: bad shard header")
+	}
+	dims = int(binary.LittleEndian.Uint32(b[4:]))
+	n := int(binary.LittleEndian.Uint32(b[8:]))
+	body := b[12:]
+	if len(body) != 8*n*dims {
+		return nil, 0, fmt.Errorf("gtm: shard body %d bytes, want %d", len(body), 8*n*dims)
+	}
+	points = make([]float64, n*dims)
+	for i := range points {
+		points[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+	}
+	return points, dims, nil
+}
+
+// EncodeEmbedding packs interpolation output (n×2 latent coordinates).
+func EncodeEmbedding(coords []float64) []byte {
+	out := make([]byte, 8*len(coords))
+	for i, v := range coords {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeEmbedding reverses EncodeEmbedding.
+func DecodeEmbedding(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("gtm: embedding blob length %d not a multiple of 8", len(data))
+	}
+	coords := make([]float64, len(data)/8)
+	for i := range coords {
+		coords[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return coords, nil
+}
+
+// Run is the executable-style entry point used by the execution
+// frameworks: a compressed shard of points in, packed 2-D embeddings out.
+func Run(model *Model, shard []byte) ([]byte, error) {
+	points, dims, err := DecodeShard(shard)
+	if err != nil {
+		return nil, err
+	}
+	coords, err := model.Interpolate(points, dims)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeEmbedding(coords), nil
+}

@@ -1,0 +1,275 @@
+package queue
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// HTTPHandler exposes a Service through an SQS-shaped REST interface —
+// "a REST-based web service interface that enables any HTTP capable
+// client to use it" (Section 2.1.1):
+//
+//	PUT    /q/{name}                         create queue
+//	DELETE /q/{name}                         delete queue
+//	GET    /q/{name}/count                   approximate counts (JSON)
+//	POST   /q/{name}/messages                send (body = message)
+//	GET    /q/{name}/messages?visibility=30s receive (JSON; 204 when empty)
+//	DELETE /q/{name}/messages/{receipt}      delete by receipt handle
+//	POST   /q/{name}/messages/{receipt}/visibility?d=1m  change visibility
+type HTTPHandler struct {
+	Service *Service
+}
+
+// wireMessage is the receive-response body.
+type wireMessage struct {
+	ID       string `json:"id"`
+	Body     []byte `json:"body"`
+	Receipt  string `json:"receipt"`
+	Receives int    `json:"receives"`
+}
+
+// ServeHTTP implements http.Handler.
+func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rest, ok := strings.CutPrefix(r.URL.Path, "/q/")
+	if !ok || rest == "" {
+		http.Error(w, "queue: missing queue name", http.StatusBadRequest)
+		return
+	}
+	parts := strings.SplitN(rest, "/", 4)
+	name := parts[0]
+	switch {
+	case len(parts) == 1:
+		h.serveQueue(w, r, name)
+	case parts[1] == "count" && len(parts) == 2:
+		h.serveCount(w, r, name)
+	case parts[1] == "messages" && len(parts) == 2:
+		h.serveMessages(w, r, name)
+	case parts[1] == "messages" && len(parts) == 3:
+		h.serveReceipt(w, r, name, parts[2])
+	case parts[1] == "messages" && len(parts) == 4 && parts[3] == "visibility":
+		h.serveVisibility(w, r, name, parts[2])
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *HTTPHandler) serveQueue(w http.ResponseWriter, r *http.Request, name string) {
+	switch r.Method {
+	case http.MethodPut:
+		err := h.Service.CreateQueue(name)
+		if errors.Is(err, ErrQueueExists) {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodDelete:
+		if err := h.Service.DeleteQueue(name); err != nil {
+			writeQueueError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (h *HTTPHandler) serveCount(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	visible, inflight, err := h.Service.ApproximateCount(name)
+	if err != nil {
+		writeQueueError(w, err)
+		return
+	}
+	writeJSON(w, map[string]int{"visible": visible, "inflight": inflight})
+}
+
+func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name string) {
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := h.Service.SendMessage(name, body)
+		if err != nil {
+			writeQueueError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, map[string]string{"id": id})
+	case http.MethodGet:
+		var visibility time.Duration
+		if v := r.URL.Query().Get("visibility"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "queue: bad visibility: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			visibility = d
+		}
+		m, ok, err := h.Service.ReceiveMessage(name, visibility)
+		if err != nil {
+			writeQueueError(w, err)
+			return
+		}
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, wireMessage{ID: m.ID, Body: m.Body, Receipt: m.ReceiptHandle, Receives: m.Receives})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (h *HTTPHandler) serveReceipt(w http.ResponseWriter, r *http.Request, name, receipt string) {
+	if r.Method != http.MethodDelete {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := h.Service.DeleteMessage(name, receipt); err != nil {
+		writeQueueError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *HTTPHandler) serveVisibility(w http.ResponseWriter, r *http.Request, name, receipt string) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	d, err := time.ParseDuration(r.URL.Query().Get("d"))
+	if err != nil {
+		http.Error(w, "queue: bad duration: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := h.Service.ChangeVisibility(name, receipt, d); err != nil {
+		writeQueueError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeQueueError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoSuchQueue):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrInvalidReceipt):
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// HTTPClient speaks the HTTPHandler protocol.
+type HTTPClient struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+func (c *HTTPClient) httpClient() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// CreateQueue creates (idempotently) a queue.
+func (c *HTTPClient) CreateQueue(name string) error {
+	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/q/"+name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("queue: create %s: %s", name, resp.Status)
+	}
+	return nil
+}
+
+// Send enqueues a message and returns its id.
+func (c *HTTPClient) Send(name string, body []byte) (string, error) {
+	resp, err := c.httpClient().Post(c.BaseURL+"/q/"+name+"/messages", "application/octet-stream",
+		strings.NewReader(string(body)))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("queue: send to %s: %s", name, resp.Status)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out["id"], nil
+}
+
+// Receive pops a message; ok is false when the queue has nothing visible.
+func (c *HTTPClient) Receive(name string, visibility time.Duration) (Message, bool, error) {
+	url := c.BaseURL + "/q/" + name + "/messages"
+	if visibility > 0 {
+		url += "?visibility=" + visibility.String()
+	}
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return Message{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return Message{}, false, nil
+	case http.StatusOK:
+		var wm wireMessage
+		if err := json.NewDecoder(resp.Body).Decode(&wm); err != nil {
+			return Message{}, false, err
+		}
+		return Message{ID: wm.ID, Body: wm.Body, ReceiptHandle: wm.Receipt, Receives: wm.Receives}, true, nil
+	default:
+		return Message{}, false, fmt.Errorf("queue: receive from %s: %s", name, resp.Status)
+	}
+}
+
+// Delete acknowledges a message by receipt handle.
+func (c *HTTPClient) Delete(name, receipt string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/q/"+name+"/messages/"+url.PathEscape(receipt), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		return ErrInvalidReceipt
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("queue: delete in %s: %s", name, resp.Status)
+	}
+	return nil
+}

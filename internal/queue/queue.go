@@ -1,0 +1,333 @@
+// Package queue simulates the cloud queue services of the paper — Amazon
+// SQS and Azure Queue — with their distinguishing semantics: at-least-once
+// delivery, no ordering guarantee, a configurable per-message visibility
+// timeout (read messages are hidden until the timeout expires and then
+// reappear unless deleted), occasional duplicate delivery, and
+// request-count accounting for the pricing model.
+//
+// The Classic Cloud framework builds its entire fault-tolerance story on
+// these semantics, exactly as Section 2.1.3 describes: a worker deletes a
+// task message only after completing it, so an un-deleted task reappears
+// and is re-executed by another worker.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so tests can drive visibility timeouts without
+// sleeping.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock reads the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced clock for tests and simulations.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock starts a fake clock at t.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{now: t} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Message is one queued item as seen by a receiver.
+type Message struct {
+	ID            string
+	Body          []byte
+	ReceiptHandle string
+	Receives      int // delivery count including this one
+}
+
+// Config tunes service behaviour.
+type Config struct {
+	// DefaultVisibility applies when ReceiveMessage passes 0.
+	DefaultVisibility time.Duration
+	// DuplicateProb injects duplicate deliveries (eventual consistency /
+	// at-least-once artifacts). 0 disables.
+	DuplicateProb float64
+	// ShuffleWindow controls how unordered delivery is: a receive picks
+	// uniformly among the first ShuffleWindow visible messages. 1 gives
+	// FIFO; larger values emulate SQS's weak ordering. Default 4.
+	ShuffleWindow int
+	// Seed for the delivery-order randomness.
+	Seed int64
+	// Clock defaults to RealClock.
+	Clock Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultVisibility == 0 {
+		c.DefaultVisibility = 30 * time.Second
+	}
+	if c.ShuffleWindow == 0 {
+		c.ShuffleWindow = 4
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	return c
+}
+
+// Service is a namespace of queues, the moral equivalent of one SQS
+// account endpoint.
+type Service struct {
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	queues map[string]*queueState
+	// apiRequests counts every service call for the pricing model.
+	apiRequests int64
+}
+
+type message struct {
+	id        string
+	body      []byte
+	visibleAt time.Time
+	receives  int
+	receipt   string
+	deleted   bool
+}
+
+type queueState struct {
+	name     string
+	messages []*message
+	nextID   int
+}
+
+// Errors returned by the service.
+var (
+	ErrNoSuchQueue    = errors.New("queue: no such queue")
+	ErrQueueExists    = errors.New("queue: queue already exists")
+	ErrInvalidReceipt = errors.New("queue: invalid or stale receipt handle")
+	ErrEmptyQueueName = errors.New("queue: empty queue name")
+)
+
+// NewService creates a queue service.
+func NewService(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		queues: make(map[string]*queueState),
+	}
+}
+
+// APIRequests returns the total number of billed API calls so far.
+func (s *Service) APIRequests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apiRequests
+}
+
+// CreateQueue registers a new queue.
+func (s *Service) CreateQueue(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiRequests++
+	if name == "" {
+		return ErrEmptyQueueName
+	}
+	if _, ok := s.queues[name]; ok {
+		return ErrQueueExists
+	}
+	s.queues[name] = &queueState{name: name}
+	return nil
+}
+
+// DeleteQueue removes a queue and its messages.
+func (s *Service) DeleteQueue(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiRequests++
+	if _, ok := s.queues[name]; !ok {
+		return ErrNoSuchQueue
+	}
+	delete(s.queues, name)
+	return nil
+}
+
+// ListQueues returns queue names sorted.
+func (s *Service) ListQueues() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiRequests++
+	names := make([]string, 0, len(s.queues))
+	for n := range s.queues {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SendMessage enqueues a message body.
+func (s *Service) SendMessage(queueName string, body []byte) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiRequests++
+	q, ok := s.queues[queueName]
+	if !ok {
+		return "", ErrNoSuchQueue
+	}
+	q.nextID++
+	m := &message{
+		id:   fmt.Sprintf("%s-%d", queueName, q.nextID),
+		body: append([]byte(nil), body...),
+	}
+	q.messages = append(q.messages, m)
+	return m.id, nil
+}
+
+// ReceiveMessage pops a visible message, hiding it for the visibility
+// timeout (DefaultVisibility when 0). It returns ok=false when nothing is
+// visible. Delivery order is deliberately not FIFO, and with
+// DuplicateProb > 0 a message may occasionally be delivered to two
+// receivers at once — both SQS behaviours the paper's design tolerates.
+func (s *Service) ReceiveMessage(queueName string, visibility time.Duration) (Message, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiRequests++
+	q, ok := s.queues[queueName]
+	if !ok {
+		return Message{}, false, ErrNoSuchQueue
+	}
+	if visibility <= 0 {
+		visibility = s.cfg.DefaultVisibility
+	}
+	now := s.cfg.Clock.Now()
+	// Collect up to ShuffleWindow visible candidates.
+	var candidates []*message
+	for _, m := range q.messages {
+		if m.deleted || m.visibleAt.After(now) {
+			continue
+		}
+		candidates = append(candidates, m)
+		if len(candidates) >= s.cfg.ShuffleWindow {
+			break
+		}
+	}
+	if len(candidates) == 0 {
+		return Message{}, false, nil
+	}
+	m := candidates[s.rng.Intn(len(candidates))]
+	m.receives++
+	m.receipt = fmt.Sprintf("%s#r%d", m.id, m.receives)
+	duplicate := s.cfg.DuplicateProb > 0 && s.rng.Float64() < s.cfg.DuplicateProb
+	if duplicate {
+		// Deliver without hiding: the next receiver may get it too.
+	} else {
+		m.visibleAt = now.Add(visibility)
+	}
+	return Message{
+		ID:            m.id,
+		Body:          append([]byte(nil), m.body...),
+		ReceiptHandle: m.receipt,
+		Receives:      m.receives,
+	}, true, nil
+}
+
+// DeleteMessage acknowledges a message by its most recent receipt handle.
+// A stale handle (the message timed out and was redelivered) returns
+// ErrInvalidReceipt, matching SQS's contract that only the latest receipt
+// is authoritative.
+func (s *Service) DeleteMessage(queueName, receiptHandle string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiRequests++
+	q, ok := s.queues[queueName]
+	if !ok {
+		return ErrNoSuchQueue
+	}
+	for _, m := range q.messages {
+		if m.deleted {
+			continue
+		}
+		if m.receipt == receiptHandle {
+			m.deleted = true
+			return nil
+		}
+	}
+	return ErrInvalidReceipt
+}
+
+// ChangeVisibility extends or shrinks the invisibility of an in-flight
+// message (SQS ChangeMessageVisibility), used by long-running workers to
+// keep ownership of a task.
+func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiRequests++
+	q, ok := s.queues[queueName]
+	if !ok {
+		return ErrNoSuchQueue
+	}
+	for _, m := range q.messages {
+		if !m.deleted && m.receipt == receiptHandle {
+			m.visibleAt = s.cfg.Clock.Now().Add(d)
+			return nil
+		}
+	}
+	return ErrInvalidReceipt
+}
+
+// ApproximateCount reports visible and in-flight (invisible, undeleted)
+// message counts. Like SQS, the numbers are approximate from the caller's
+// perspective because they race with concurrent operations.
+func (s *Service) ApproximateCount(queueName string) (visible, inflight int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiRequests++
+	q, ok := s.queues[queueName]
+	if !ok {
+		return 0, 0, ErrNoSuchQueue
+	}
+	now := s.cfg.Clock.Now()
+	for _, m := range q.messages {
+		if m.deleted {
+			continue
+		}
+		if m.visibleAt.After(now) {
+			inflight++
+		} else {
+			visible++
+		}
+	}
+	return visible, inflight, nil
+}
+
+// Purge removes every message from a queue.
+func (s *Service) Purge(queueName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiRequests++
+	q, ok := s.queues[queueName]
+	if !ok {
+		return ErrNoSuchQueue
+	}
+	q.messages = nil
+	return nil
+}

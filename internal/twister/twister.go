@@ -1,0 +1,354 @@
+// Package twister implements the framework the paper's conclusion
+// announces as future work: "a fully-fledged MapReduce framework with
+// iterative-MapReduce support for the Windows Azure Cloud infrastructure
+// using Azure infrastructure services as building blocks" (TwisterAzure,
+// ref [12]). It layers an iterative MapReduce on the same queue and blob
+// services the Classic Cloud model uses:
+//
+//   - static input partitions are uploaded to blob storage once and
+//     *cached in worker memory across iterations* — the defining Twister
+//     optimization for iterative algorithms;
+//   - each iteration broadcasts small dynamic data (e.g. cluster
+//     centroids) through the blob store;
+//   - map outputs travel through blob storage; the client reduces and
+//     merges them into the next broadcast until convergence;
+//   - fault tolerance is inherited from the queue's visibility timeout:
+//     an unacknowledged map task reappears and re-executes.
+package twister
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/queue"
+)
+
+// Env bundles the cloud infrastructure services.
+type Env struct {
+	Blob  *blob.Store
+	Queue *queue.Service
+}
+
+// KV is one emitted key/value pair.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// MapFunc processes one static partition with the iteration's broadcast
+// data. It must be idempotent (tasks may re-execute).
+type MapFunc func(partitionID string, partition, broadcast []byte) ([]KV, error)
+
+// ReduceFunc folds all values emitted under one key during an iteration.
+type ReduceFunc func(key string, values [][]byte) ([]byte, error)
+
+// MergeFunc combines the reduced outputs into the next broadcast and
+// decides convergence.
+type MergeFunc func(iteration int, reduced map[string][]byte, prevBroadcast []byte) (next []byte, done bool, err error)
+
+// JobConfig describes an iterative job.
+type JobConfig struct {
+	Name          string
+	Partitions    map[string][]byte // static data, uploaded once
+	Broadcast     []byte            // initial dynamic data
+	Map           MapFunc
+	Reduce        ReduceFunc
+	Merge         MergeFunc
+	MaxIterations int           // safety bound (default 50)
+	Timeout       time.Duration // per-iteration completion bound (default 1m)
+	Visibility    time.Duration // map-task lease (default 30s)
+}
+
+func (c JobConfig) withDefaults() JobConfig {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 50
+	}
+	if c.Timeout == 0 {
+		c.Timeout = time.Minute
+	}
+	if c.Visibility == 0 {
+		c.Visibility = 30 * time.Second
+	}
+	return c
+}
+
+func (c JobConfig) taskQueue() string    { return c.Name + "-twister-tasks" }
+func (c JobConfig) monitorQueue() string { return c.Name + "-twister-monitor" }
+func (c JobConfig) dataBucket() string   { return c.Name + "-twister-data" }
+
+// taskMsg is one map-task message.
+type taskMsg struct {
+	Iteration    int    `json:"iteration"`
+	PartitionID  string `json:"partition_id"`
+	BroadcastKey string `json:"broadcast_key"`
+	OutputKey    string `json:"output_key"`
+}
+
+// doneMsg reports a finished map task.
+type doneMsg struct {
+	Iteration   int    `json:"iteration"`
+	PartitionID string `json:"partition_id"`
+}
+
+// Result summarizes a converged job.
+type Result struct {
+	Iterations     int
+	Converged      bool
+	FinalBroadcast []byte
+	Elapsed        time.Duration
+	// CacheHits counts map executions that reused a worker's in-memory
+	// partition copy instead of re-downloading — the iterative win.
+	CacheHits int64
+}
+
+// Worker is one long-running Twister worker caching static partitions.
+type Worker struct {
+	env       Env
+	cfg       JobConfig
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	cache     sync.Map // partitionID → []byte
+	cacheHits atomic.Int64
+	stopped   atomic.Bool
+}
+
+// StartWorkers launches n workers against the job's queues.
+func StartWorkers(env Env, cfg JobConfig, n int) *Worker {
+	cfg = cfg.withDefaults()
+	w := &Worker{env: env, cfg: cfg, stop: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		w.wg.Add(1)
+		go w.loop()
+	}
+	return w
+}
+
+// Stop terminates the workers.
+func (w *Worker) Stop() {
+	if w.stopped.CompareAndSwap(false, true) {
+		close(w.stop)
+	}
+	w.wg.Wait()
+}
+
+// CacheHits returns the number of cached-partition reuses.
+func (w *Worker) CacheHits() int64 { return w.cacheHits.Load() }
+
+func (w *Worker) loop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		m, ok, err := w.env.Queue.ReceiveMessage(w.cfg.taskQueue(), w.cfg.Visibility)
+		if err != nil || !ok {
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		var task taskMsg
+		if err := json.Unmarshal(m.Body, &task); err != nil {
+			_ = w.env.Queue.DeleteMessage(w.cfg.taskQueue(), m.ReceiptHandle)
+			continue
+		}
+		if err := w.runTask(task); err != nil {
+			continue // leave undeleted; visibility timeout re-issues it
+		}
+		_ = w.env.Queue.DeleteMessage(w.cfg.taskQueue(), m.ReceiptHandle)
+		dm, _ := json.Marshal(doneMsg{Iteration: task.Iteration, PartitionID: task.PartitionID})
+		_, _ = w.env.Queue.SendMessage(w.cfg.monitorQueue(), dm)
+	}
+}
+
+func (w *Worker) runTask(task taskMsg) error {
+	// Static data: in-memory cache across iterations.
+	var partition []byte
+	if cached, ok := w.cache.Load(task.PartitionID); ok {
+		partition = cached.([]byte)
+		w.cacheHits.Add(1)
+	} else {
+		data, err := w.env.Blob.GetConsistent(w.cfg.dataBucket(), "partition/"+task.PartitionID)
+		if err != nil {
+			return err
+		}
+		w.cache.Store(task.PartitionID, data)
+		partition = data
+	}
+	broadcast, err := w.env.Blob.GetConsistent(w.cfg.dataBucket(), task.BroadcastKey)
+	if err != nil {
+		return err
+	}
+	kvs, err := w.cfg.Map(task.PartitionID, partition, broadcast)
+	if err != nil {
+		return err
+	}
+	enc, err := encodeKVs(kvs)
+	if err != nil {
+		return err
+	}
+	return w.env.Blob.Put(w.cfg.dataBucket(), task.OutputKey, enc)
+}
+
+func encodeKVs(kvs []KV) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(kvs); err != nil {
+		return nil, fmt.Errorf("twister: encoding map output: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeKVs(data []byte) ([]KV, error) {
+	var kvs []KV
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&kvs); err != nil {
+		return nil, fmt.Errorf("twister: decoding map output: %w", err)
+	}
+	return kvs, nil
+}
+
+// Run drives an iterative job to convergence. Workers must already be
+// running (StartWorkers) or be started before the timeout elapses.
+func Run(env Env, cfg JobConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Map == nil || cfg.Reduce == nil || cfg.Merge == nil {
+		return nil, errors.New("twister: job needs Map, Reduce and Merge")
+	}
+	if len(cfg.Partitions) == 0 {
+		return nil, errors.New("twister: job has no partitions")
+	}
+	start := time.Now()
+
+	// Setup: queues, bucket, static partitions.
+	for _, q := range []string{cfg.taskQueue(), cfg.monitorQueue()} {
+		if err := env.Queue.CreateQueue(q); err != nil && !errors.Is(err, queue.ErrQueueExists) {
+			return nil, err
+		}
+	}
+	if err := env.Blob.CreateBucket(cfg.dataBucket()); err != nil && !errors.Is(err, blob.ErrBucketExists) {
+		return nil, err
+	}
+	partIDs := make([]string, 0, len(cfg.Partitions))
+	for id, data := range cfg.Partitions {
+		if err := env.Blob.Put(cfg.dataBucket(), "partition/"+id, data); err != nil {
+			return nil, err
+		}
+		partIDs = append(partIDs, id)
+	}
+	sort.Strings(partIDs)
+
+	broadcast := cfg.Broadcast
+	res := &Result{}
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		bKey := fmt.Sprintf("broadcast/%d", iter)
+		if err := env.Blob.Put(cfg.dataBucket(), bKey, broadcast); err != nil {
+			return nil, err
+		}
+		// Fan out one map task per partition.
+		for _, id := range partIDs {
+			tm, err := json.Marshal(taskMsg{
+				Iteration:    iter,
+				PartitionID:  id,
+				BroadcastKey: bKey,
+				OutputKey:    fmt.Sprintf("out/%d/%s", iter, id),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := env.Queue.SendMessage(cfg.taskQueue(), tm); err != nil {
+				return nil, err
+			}
+		}
+		// Barrier: wait for all partitions of this iteration.
+		if err := waitIteration(env, cfg, iter, len(partIDs)); err != nil {
+			return nil, err
+		}
+		// Gather and group intermediate outputs.
+		grouped := make(map[string][][]byte)
+		for _, id := range partIDs {
+			data, err := env.Blob.GetConsistent(cfg.dataBucket(), fmt.Sprintf("out/%d/%s", iter, id))
+			if err != nil {
+				return nil, fmt.Errorf("twister: gathering iteration %d output %s: %w", iter, id, err)
+			}
+			kvs, err := decodeKVs(data)
+			if err != nil {
+				return nil, err
+			}
+			for _, kv := range kvs {
+				grouped[kv.Key] = append(grouped[kv.Key], kv.Value)
+			}
+		}
+		// Reduce per key (sorted for determinism).
+		keys := make([]string, 0, len(grouped))
+		for k := range grouped {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		reduced := make(map[string][]byte, len(keys))
+		for _, k := range keys {
+			v, err := cfg.Reduce(k, grouped[k])
+			if err != nil {
+				return nil, fmt.Errorf("twister: reduce %q: %w", k, err)
+			}
+			reduced[k] = v
+		}
+		// Merge into the next broadcast; check convergence.
+		next, done, err := cfg.Merge(iter, reduced, broadcast)
+		if err != nil {
+			return nil, fmt.Errorf("twister: merge at iteration %d: %w", iter, err)
+		}
+		broadcast = next
+		if done {
+			res.Converged = true
+			break
+		}
+	}
+	res.FinalBroadcast = broadcast
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// waitIteration drains the monitor queue until every partition of the
+// iteration has reported, tolerating duplicate completions.
+func waitIteration(env Env, cfg JobConfig, iter, want int) error {
+	deadline := time.Now().Add(cfg.Timeout)
+	done := make(map[string]bool, want)
+	for len(done) < want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("twister: iteration %d timed out with %d/%d partitions", iter, len(done), want)
+		}
+		m, ok, err := env.Queue.ReceiveMessage(cfg.monitorQueue(), time.Minute)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		var dm doneMsg
+		if err := json.Unmarshal(m.Body, &dm); err != nil {
+			return err
+		}
+		if err := env.Queue.DeleteMessage(cfg.monitorQueue(), m.ReceiptHandle); err != nil {
+			continue
+		}
+		if dm.Iteration == iter {
+			done[dm.PartitionID] = true
+		}
+		// Stale completions from earlier iterations (re-executed tasks
+		// whose first run already counted) are simply dropped.
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package twister
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/queue"
+)
+
+func testEnv() Env {
+	return Env{
+		Blob:  blob.NewStore(blob.Config{}),
+		Queue: queue.NewService(queue.Config{Seed: 1}),
+	}
+}
+
+// --- encoding helpers for the k-means test job ---
+
+func encodeFloats(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, v := range xs {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeFloats(b []byte) []float64 {
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return xs
+}
+
+// kmeansJob builds a 1-D k-means job over the given partitioned points.
+func kmeansJob(name string, partitions map[string][]byte, centroids []float64) JobConfig {
+	return JobConfig{
+		Name:       name,
+		Partitions: partitions,
+		Broadcast:  encodeFloats(centroids),
+		Map: func(id string, partition, broadcast []byte) ([]KV, error) {
+			points := decodeFloats(partition)
+			centers := decodeFloats(broadcast)
+			// Emit per-center (sum, count) pairs.
+			sums := make([]float64, len(centers))
+			counts := make([]float64, len(centers))
+			for _, p := range points {
+				best, bestD := 0, math.Inf(1)
+				for c, ctr := range centers {
+					if d := math.Abs(p - ctr); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				sums[best] += p
+				counts[best]++
+			}
+			var kvs []KV
+			for c := range centers {
+				kvs = append(kvs, KV{
+					Key:   fmt.Sprintf("c%02d", c),
+					Value: encodeFloats([]float64{sums[c], counts[c]}),
+				})
+			}
+			return kvs, nil
+		},
+		Reduce: func(key string, values [][]byte) ([]byte, error) {
+			var sum, count float64
+			for _, v := range values {
+				sc := decodeFloats(v)
+				sum += sc[0]
+				count += sc[1]
+			}
+			return encodeFloats([]float64{sum, count}), nil
+		},
+		Merge: func(iter int, reduced map[string][]byte, prev []byte) ([]byte, bool, error) {
+			centers := decodeFloats(prev)
+			next := make([]float64, len(centers))
+			for c := range centers {
+				sc := decodeFloats(reduced[fmt.Sprintf("c%02d", c)])
+				if sc[1] == 0 {
+					next[c] = centers[c] // empty cluster keeps its center
+					continue
+				}
+				next[c] = sc[0] / sc[1]
+			}
+			moved := 0.0
+			for c := range centers {
+				moved += math.Abs(next[c] - centers[c])
+			}
+			return encodeFloats(next), moved < 1e-9, nil
+		},
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	env := testEnv()
+	// Two tight 1-D clusters around 0 and 100, split across 4 partitions.
+	partitions := map[string][]byte{}
+	for p := 0; p < 4; p++ {
+		var pts []float64
+		for i := 0; i < 25; i++ {
+			pts = append(pts, float64(i%5)-2)     // cluster near 0
+			pts = append(pts, 100+float64(i%5)-2) // cluster near 100
+		}
+		partitions[fmt.Sprintf("p%d", p)] = encodeFloats(pts)
+	}
+	cfg := kmeansJob("km", partitions, []float64{10, 60})
+	workers := StartWorkers(env, cfg, 4)
+	defer workers.Stop()
+	res, err := Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	centers := decodeFloats(res.FinalBroadcast)
+	if len(centers) != 2 {
+		t.Fatalf("centers = %v", centers)
+	}
+	lo, hi := centers[0], centers[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo-0) > 1 || math.Abs(hi-100) > 1 {
+		t.Errorf("centers = %v, want ≈ [0, 100]", centers)
+	}
+	if res.Iterations < 2 {
+		t.Errorf("expected an iterative run, got %d iterations", res.Iterations)
+	}
+}
+
+func TestPartitionCachingAcrossIterations(t *testing.T) {
+	env := testEnv()
+	partitions := map[string][]byte{
+		"p0": encodeFloats([]float64{1, 2, 3}),
+		"p1": encodeFloats([]float64{4, 5, 6}),
+	}
+	cfg := kmeansJob("cache", partitions, []float64{0, 10})
+	workers := StartWorkers(env, cfg, 2)
+	defer workers.Stop()
+	res, err := Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Skip("converged too fast to observe caching")
+	}
+	if workers.CacheHits() == 0 {
+		t.Error("no cache hits across iterations; static data is re-downloaded every time")
+	}
+}
+
+func TestIterationCap(t *testing.T) {
+	env := testEnv()
+	cfg := JobConfig{
+		Name:          "nonconv",
+		Partitions:    map[string][]byte{"p0": {1}},
+		Broadcast:     []byte{0},
+		MaxIterations: 3,
+		Map: func(id string, partition, broadcast []byte) ([]KV, error) {
+			return []KV{{Key: "k", Value: []byte{1}}}, nil
+		},
+		Reduce: func(key string, values [][]byte) ([]byte, error) { return []byte{1}, nil },
+		Merge: func(iter int, reduced map[string][]byte, prev []byte) ([]byte, bool, error) {
+			return prev, false, nil // never converges
+		},
+	}
+	workers := StartWorkers(env, cfg, 1)
+	defer workers.Stop()
+	res, err := Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("job should not have converged")
+	}
+	if res.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3 (cap)", res.Iterations)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	env := testEnv()
+	if _, err := Run(env, JobConfig{Name: "bad"}); err == nil {
+		t.Error("job without functions should fail")
+	}
+	cfg := JobConfig{
+		Name:   "nodata",
+		Map:    func(string, []byte, []byte) ([]KV, error) { return nil, nil },
+		Reduce: func(string, [][]byte) ([]byte, error) { return nil, nil },
+		Merge:  func(int, map[string][]byte, []byte) ([]byte, bool, error) { return nil, true, nil },
+	}
+	if _, err := Run(env, cfg); err == nil {
+		t.Error("job without partitions should fail")
+	}
+}
+
+func TestTimeoutWithoutWorkers(t *testing.T) {
+	env := testEnv()
+	cfg := kmeansJob("noworkers", map[string][]byte{"p0": encodeFloats([]float64{1})}, []float64{0})
+	cfg.Timeout = 50 * time.Millisecond
+	_, err := Run(env, cfg)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("err = %v, want iteration timeout", err)
+	}
+}
+
+func TestMapFailureRecoversViaVisibilityTimeout(t *testing.T) {
+	env := testEnv()
+	partitions := map[string][]byte{"p0": encodeFloats([]float64{1, 2})}
+	failures := 0
+	cfg := JobConfig{
+		Name:       "flaky",
+		Partitions: partitions,
+		Broadcast:  []byte{0},
+		Visibility: 50 * time.Millisecond,
+		Timeout:    10 * time.Second,
+		Map: func(id string, partition, broadcast []byte) ([]KV, error) {
+			// The worker loop serializes task attempts, so this counter
+			// needs no lock with a single worker.
+			failures++
+			if failures <= 2 {
+				return nil, errors.New("transient map failure")
+			}
+			return []KV{{Key: "k", Value: []byte{1}}}, nil
+		},
+		Reduce: func(key string, values [][]byte) ([]byte, error) { return []byte{1}, nil },
+		Merge: func(iter int, reduced map[string][]byte, prev []byte) ([]byte, bool, error) {
+			return prev, true, nil
+		},
+	}
+	workers := StartWorkers(env, cfg, 1)
+	defer workers.Stop()
+	res, err := Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("job should converge after retries")
+	}
+	if failures < 3 {
+		t.Errorf("failures = %d, want retry behaviour", failures)
+	}
+}
+
+func TestKVGobRoundTrip(t *testing.T) {
+	in := []KV{{Key: "a", Value: []byte{1, 2}}, {Key: "b", Value: nil}}
+	enc, err := encodeKVs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeKVs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Key != "a" || string(out[0].Value) != "\x01\x02" {
+		t.Errorf("round trip = %+v", out)
+	}
+	if _, err := decodeKVs([]byte("junk")); err == nil {
+		t.Error("corrupt intermediate should error")
+	}
+}
