@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/blast"
+	"repro/internal/broker"
 	"repro/internal/cap3"
 	"repro/internal/classiccloud"
 	"repro/internal/cloud"
@@ -508,4 +509,92 @@ func reportMinEfficiency(b *testing.B, pts []perfmodel.ScalabilityPoint) {
 		}
 	}
 	b.ReportMetric(min, "min_efficiency")
+}
+
+// ---------------------------------------------------------------------------
+// Elastic broker
+// ---------------------------------------------------------------------------
+
+// BenchmarkBrokerElasticCap3 runs a full elastic job — submit, autoscale
+// up, drain, autoscale down — and reports task throughput plus the
+// hour-unit bill against the fixed max-fleet baseline.
+func BenchmarkBrokerElasticCap3(b *testing.B) {
+	files, err := workload.Cap3FileSet(3, 48, 40, 2000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lastCost broker.CostReport
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := classiccloud.Env{
+			Blob:  blobstore.NewStore(blobstore.Config{}),
+			Queue: queue.NewService(queue.Config{Seed: int64(i + 1)}),
+		}
+		bk := broker.New(broker.Config{
+			Env:               env,
+			VisibilityTimeout: 500 * time.Millisecond,
+			TickInterval:      5 * time.Millisecond,
+			Autoscale: broker.AutoscalePolicy{
+				MinInstances: 1, MaxInstances: 8, BacklogPerInstance: 12,
+				ScaleDownCooldown: 30 * time.Millisecond,
+			},
+		})
+		j, err := bk.Submit(broker.JobRequest{App: "cap3", Files: files})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(60 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		st := j.Status()
+		if st.Done != len(files) {
+			b.Fatalf("done = %d, want %d", st.Done, len(files))
+		}
+		lastCost = j.CostReport()
+		d, _ := time.ParseDuration(lastCost.Elapsed)
+		elapsed = d
+		bk.Close()
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(len(files))/elapsed.Seconds(), "tasks/s")
+	}
+	b.ReportMetric(lastCost.HourUnits, "hour_units")
+	b.ReportMetric(lastCost.FixedHourUnits, "fixed_hour_units")
+	b.ReportMetric(lastCost.Utilization, "utilization")
+}
+
+// BenchmarkBrokerInstanceSelection measures the cost-aware planning
+// sweep across the full EC2+Azure catalog.
+func BenchmarkBrokerInstanceSelection(b *testing.B) {
+	app := perfmodel.Cap3Model(458)
+	catalog := cloud.EC2Catalog()
+	var sel perfmodel.Selection
+	for i := 0; i < b.N; i++ {
+		sel = perfmodel.PickCheapest(app, perfmodel.ClassicEC2, 512, time.Hour, catalog, 16)
+	}
+	if !sel.MeetsTarget {
+		b.Fatal("no selection meets target")
+	}
+	b.ReportMetric(sel.Outcome.Bill.ComputeCost, "selected_cost_$")
+	b.ReportMetric(float64(sel.Instances()), "selected_instances")
+}
+
+// BenchmarkAutoscalerDecide measures the pure policy function on a hot
+// path observation.
+func BenchmarkAutoscalerDecide(b *testing.B) {
+	p := broker.AutoscalePolicy{
+		MinInstances: 1, MaxInstances: 32, BacklogPerInstance: 16,
+		TargetDrain: 30 * time.Second, ScaleUpCooldown: time.Second,
+		ScaleDownCooldown: 10 * time.Second,
+	}
+	o := broker.Observation{
+		Now: time.Unix(1000, 0), Visible: 512, InFlight: 64, Fleet: 8,
+		ThroughputPerInstance: 1.5,
+	}
+	for i := 0; i < b.N; i++ {
+		if d := p.Decide(o); d.Delta == 0 && d.Reason == "" {
+			b.Fatal("empty decision")
+		}
+	}
 }

@@ -1,0 +1,61 @@
+// Command brokerd runs the elastic job broker as a daemon: an HTTP API
+// for submitting CAP3/BLAST/GTM jobs over the simulated cloud substrate
+// (blob store + scheduling queues) with an autoscaled, cost-accounted
+// worker fleet per job.
+//
+// Usage:
+//
+//	brokerd -addr :8080 -max-fleet 16 -workers 2
+//
+// Endpoints (see internal/broker.HTTPHandler):
+//
+//	POST /jobs; GET /jobs, /jobs/{id}, /jobs/{id}/events,
+//	/jobs/{id}/cost, /jobs/{id}/deadletters, /jobs/{id}/outputs;
+//	POST /jobs/{id}/preempt; GET /fleet
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/broker"
+	"repro/internal/classiccloud"
+	"repro/internal/queue"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxFleet := flag.Int("max-fleet", 16, "autoscaler max instances per job")
+	minFleet := flag.Int("min-fleet", 1, "autoscaler min instances per job")
+	workers := flag.Int("workers", 2, "workers per instance")
+	visibility := flag.Duration("visibility", time.Minute, "task lease length")
+	maxReceives := flag.Int("max-receives", 4, "per-task retry cap before dead-lettering")
+	tick := flag.Duration("tick", 200*time.Millisecond, "autoscaler cadence")
+	flag.Parse()
+
+	env := classiccloud.Env{
+		Blob:  blob.NewStore(blob.Config{}),
+		Queue: queue.NewService(queue.Config{}),
+	}
+	b := broker.New(broker.Config{
+		Env: env,
+		Autoscale: broker.AutoscalePolicy{
+			MinInstances: *minFleet,
+			MaxInstances: *maxFleet,
+		},
+		WorkersPerInstance: *workers,
+		VisibilityTimeout:  *visibility,
+		MaxReceives:        *maxReceives,
+		TickInterval:       *tick,
+	})
+	defer b.Close()
+
+	log.Printf("brokerd: listening on %s (max fleet %d, %d workers/instance)",
+		*addr, *maxFleet, *workers)
+	if err := http.ListenAndServe(*addr, &broker.HTTPHandler{Broker: b}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -18,9 +18,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/blob"
+	"repro/internal/broker"
+	"repro/internal/classiccloud"
 	"repro/internal/cloud"
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
+	"repro/internal/queue"
+	"repro/internal/workload"
 )
 
 type experiment struct {
@@ -85,6 +90,8 @@ func experiments() []experiment {
 		{"azurelinear", "Why Azure Cap3/GTM instance figures are omitted (Section 3)", azureLinearity},
 		{"variability", "Sustained performance of clouds over a week (Section 3)", variability},
 		{"inhomogeneous", "Dynamic vs static scheduling on skewed data (Section 4.2)", inhomogeneous},
+		{"brokerplan", "Broker cost-aware instance selection (cheapest type meeting a deadline)", brokerPlan},
+		{"broker", "Elastic broker live run: autoscaling and cost vs fixed fleet", brokerLive},
 	}
 }
 
@@ -230,4 +237,84 @@ func inhomogeneous() {
 			r.Heterogeneity, r.HadoopMakespan, r.DryadMakespan, r.Ratio)
 	}
 	_ = time.Second
+}
+
+// brokerPlan inverts the instance-cost figures: instead of pricing a
+// fixed workload on every type, ask the planner which (type, fleet)
+// is cheapest for a deadline — the decision the elastic broker makes
+// at job submission.
+func brokerPlan() {
+	catalog := append(cloud.EC2Catalog(), cloud.AzureCatalog()...)
+	apps := []struct {
+		name   string
+		model  perfmodel.AppModel
+		files  int
+		target time.Duration
+	}{
+		{"cap3 (4096 files)", perfmodel.Cap3Model(458), 4096, time.Hour},
+		{"blast (64 files)", perfmodel.BlastModel(100), 64, time.Hour},
+		{"gtm (1024 shards)", perfmodel.GTMModel(100000), 1024, time.Hour},
+	}
+	fmt.Printf("%-20s %8s  %-28s %6s %10s %10s %8s\n",
+		"Workload", "Target", "Chosen instance", "Fleet", "Makespan", "Cost", "Meets?")
+	for _, a := range apps {
+		best, ok := broker.PlanFleet(a.model, a.files, a.target, catalog, 64)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-20s %8s  %-28s %6d %10s %9.2f$ %8v\n",
+			a.name, a.target, best.InstanceType().String()[:min(28, len(best.InstanceType().String()))],
+			best.Instances(), best.Outcome.Makespan.Round(time.Second),
+			best.Outcome.Bill.ComputeCost, best.MeetsTarget)
+	}
+}
+
+// brokerLive runs a real (in-process) elastic job: 64 Cap3 files
+// through the broker, printing the scaling timeline and the final
+// elastic-versus-fixed bill.
+func brokerLive() {
+	files, err := workload.Cap3FileSet(11, 64, 40, 2000, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	env := classiccloud.Env{
+		Blob:  blob.NewStore(blob.Config{}),
+		Queue: queue.NewService(queue.Config{Seed: 11}),
+	}
+	bk := broker.New(broker.Config{
+		Env:               env,
+		VisibilityTimeout: 500 * time.Millisecond,
+		TickInterval:      5 * time.Millisecond,
+		Autoscale: broker.AutoscalePolicy{
+			MinInstances: 1, MaxInstances: 8, BacklogPerInstance: 12,
+			ScaleDownCooldown: 30 * time.Millisecond,
+		},
+	})
+	defer bk.Close()
+	start := time.Now()
+	j, err := bk.Submit(broker.JobRequest{App: "cap3", Files: files})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	if err := j.Wait(60 * time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	fmt.Println("scaling timeline:")
+	for _, ev := range j.Events() {
+		fmt.Printf("  %8s  %-8s fleet=%d  (%s)\n",
+			ev.Time.Sub(start).Round(time.Millisecond), ev.Action, ev.Fleet, ev.Reason)
+	}
+	st := j.Status()
+	cr := j.CostReport()
+	fmt.Printf("\n%d/%d tasks done in %s; throughput %.0f tasks/s; utilization %.0f%%\n",
+		st.Done, st.Total, cr.Elapsed, float64(st.Done)/time.Since(start).Seconds(),
+		100*cr.Utilization)
+	fmt.Printf("%-24s %12s %12s\n", "", "hour units", "cost")
+	fmt.Printf("%-24s %12.0f %11.2f$\n", "elastic fleet", cr.HourUnits, cr.ComputeCost)
+	fmt.Printf("%-24s %12.0f %11.2f$\n", "fixed max fleet", cr.FixedHourUnits, cr.FixedComputeCost)
+	fmt.Printf("savings vs fixed: %.0f%%\n",
+		100*(1-cr.ComputeCost/cr.FixedComputeCost))
 }

@@ -1,0 +1,808 @@
+// Package broker is the elastic job-orchestration layer above the
+// Classic Cloud runtime. The seed's model (queue + blob + independent
+// workers, Figure 1 of the paper) runs a fixed-size worker pool
+// launched once per run; this package supplies the missing half of the
+// paper's pitch — cloud *elasticity* with per-hour cost accounting:
+//
+//   - Jobs (CAP3 / BLAST / GTM executors over file sets) are accepted
+//     long-running-service style and fanned into the scheduling queue
+//     and blob store via internal/classiccloud.
+//   - An autoscaler loop grows and shrinks each job's instance fleet
+//     from observed queue depth and per-task throughput, with
+//     cooldowns and a max-fleet cap (AutoscalePolicy).
+//   - Instance selection is cost-aware: the broker consults the
+//     internal/cloud price catalog and the calibrated perfmodel to
+//     pick the cheapest instance type meeting a target makespan.
+//   - Fleet time is billed in per-hour increments exactly as the paper
+//     prices its runs, and every job closes with a cost report
+//     comparing the elastic fleet against a fixed max-size fleet.
+//   - Poison tasks are retried up to a receive cap and then parked on
+//     a per-job dead-letter queue; worker crashes and spot
+//     preemptions are recovered through the queue's visibility
+//     timeout, the paper's own fault-tolerance mechanism.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classiccloud"
+	"repro/internal/cloud"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/queue"
+)
+
+// Config tunes the broker. Zero values select defaults.
+type Config struct {
+	// Env is the shared cloud infrastructure (blob + queue services).
+	Env classiccloud.Env
+	// Registry maps app names to executor factories (DefaultRegistry
+	// when nil).
+	Registry map[string]ExecutorFactory
+	// Autoscale is the default policy; jobs may override it.
+	Autoscale AutoscalePolicy
+	// WorkersPerInstance is the paper's workers-per-instance knob
+	// (default 2).
+	WorkersPerInstance int
+	// VisibilityTimeout is the task lease length (default 1m). It
+	// bounds crash-recovery latency: an abandoned task reappears after
+	// this long.
+	VisibilityTimeout time.Duration
+	// PollInterval is the worker idle poll spacing (default 2ms).
+	PollInterval time.Duration
+	// MaxReceives is the per-task retry cap before dead-lettering
+	// (default 4).
+	MaxReceives int
+	// TickInterval is the autoscaler cadence (default 200ms).
+	TickInterval time.Duration
+	// Catalog lists the instance types cost-aware selection may pick
+	// from (default: EC2 Table 1 + Azure Table 2).
+	Catalog []cloud.InstanceType
+	// DefaultInstance is used when a job has no target makespan
+	// (default Azure Small, the paper's most economical Cap3 choice).
+	DefaultInstance cloud.InstanceType
+}
+
+func (c Config) withDefaults() Config {
+	if c.Registry == nil {
+		c.Registry = DefaultRegistry()
+	}
+	if c.WorkersPerInstance <= 0 {
+		c.WorkersPerInstance = 2
+	}
+	if c.VisibilityTimeout <= 0 {
+		c.VisibilityTimeout = time.Minute
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	if c.MaxReceives <= 0 {
+		c.MaxReceives = 4
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 200 * time.Millisecond
+	}
+	if len(c.Catalog) == 0 {
+		c.Catalog = append(cloud.EC2Catalog(), cloud.AzureCatalog()...)
+	}
+	if c.DefaultInstance.Name == "" {
+		c.DefaultInstance = cloud.AzureSmall
+	}
+	return c
+}
+
+// Errors returned by the broker.
+var (
+	ErrUnknownApp = errors.New("broker: unknown app")
+	ErrNoSuchJob  = errors.New("broker: no such job")
+	ErrClosed     = errors.New("broker: closed")
+	ErrNoFiles    = errors.New("broker: job has no input files")
+)
+
+// JobRequest describes one submission.
+type JobRequest struct {
+	// App names an executor factory in the registry ("cap3", "blast",
+	// "gtm").
+	App string `json:"app"`
+	// Files are the input file set, one task per file.
+	Files map[string][]byte `json:"files"`
+	// Shared is app shared data staged before workers start (BLAST
+	// database, GTM model).
+	Shared map[string][]byte `json:"shared,omitempty"`
+	// TargetMakespan enables cost-aware instance selection: the broker
+	// picks the cheapest catalog entry predicted to finish within it.
+	// Zero uses the broker's default instance type.
+	TargetMakespan time.Duration `json:"target_makespan,omitempty"`
+	// Autoscale overrides the broker's default policy when non-nil.
+	Autoscale *AutoscalePolicy `json:"autoscale,omitempty"`
+	// InjectCrashes makes the first N task executions abandon their
+	// work just before acknowledging it (simulated worker crash /
+	// spot preemption); the visibility timeout must recover them.
+	InjectCrashes int `json:"inject_crashes,omitempty"`
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	// StateAborted marks a job shut down (Broker.Close) before every
+	// task settled; outputs are partial.
+	StateAborted JobState = "aborted"
+)
+
+// fleetInstance is one launched instance plus its billing record.
+type fleetInstance struct {
+	inst      *classiccloud.Instance
+	launched  time.Time
+	stopped   time.Time // zero while running
+	preempted bool
+}
+
+// Job is one submission's full lifecycle: queues, fleet, ledger.
+type Job struct {
+	ID  string
+	App string
+
+	broker *Broker
+	cc     *classiccloud.Client
+	ccCfg  classiccloud.Config
+	exec   classiccloud.Executor
+	policy AutoscalePolicy
+	itype  cloud.InstanceType
+	// plan holds the cost-aware selection when a target makespan was
+	// requested.
+	plan *perfmodel.Selection
+
+	tasks       []classiccloud.Task
+	crashBudget atomic.Int64
+
+	stop chan struct{}
+
+	mu            sync.Mutex
+	state         JobState
+	started       time.Time
+	finished      time.Time
+	done          map[string]bool
+	dead          map[string]bool
+	dups          int
+	fleet         []*fleetInstance
+	events        []ScalingEvent
+	lastUp        time.Time
+	lastDown      time.Time
+	lastTick      time.Time
+	lastDoneCount int
+	throughput    float64 // tasks/sec/instance, smoothed
+	stopWG        sync.WaitGroup
+}
+
+// Broker is the long-running elastic job service.
+type Broker struct {
+	cfg Config
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates a broker over the given environment.
+func New(cfg Config) *Broker {
+	return &Broker{cfg: cfg.withDefaults(), jobs: make(map[string]*Job)}
+}
+
+// Submit accepts a job: stages inputs, plans the fleet, launches the
+// minimum instances, and starts the job's autoscaler loop.
+func (b *Broker) Submit(req JobRequest) (*Job, error) {
+	if len(req.Files) == 0 {
+		return nil, ErrNoFiles
+	}
+	factory, ok := b.cfg.Registry[req.App]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownApp, req.App)
+	}
+	exec, err := factory(req.Shared)
+	if err != nil {
+		return nil, err
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.nextID++
+	id := fmt.Sprintf("job-%04d", b.nextID)
+	b.mu.Unlock()
+
+	policy := b.cfg.Autoscale
+	if req.Autoscale != nil {
+		policy = *req.Autoscale
+	}
+	policy = policy.withDefaults()
+
+	j := &Job{
+		ID:     id,
+		App:    req.App,
+		broker: b,
+		exec:   exec,
+		policy: policy,
+		itype:  b.cfg.DefaultInstance,
+		stop:   make(chan struct{}),
+		state:  StateRunning,
+		done:   make(map[string]bool),
+		dead:   make(map[string]bool),
+	}
+	j.crashBudget.Store(int64(req.InjectCrashes))
+
+	// Cost-aware instance selection against the calibrated model.
+	if req.TargetMakespan > 0 {
+		if model, ok := planningModel(req.App); ok {
+			sel, ok := PlanFleet(model, len(req.Files), req.TargetMakespan,
+				b.cfg.Catalog, policy.MaxInstances)
+			if ok {
+				j.plan = &sel
+				j.itype = sel.InstanceType()
+				if n := sel.Instances(); n < j.policy.MaxInstances {
+					// The plan already meets the deadline with n
+					// instances; cap the fleet there and let observed
+					// load fill it.
+					j.policy.MaxInstances = n
+					if j.policy.MinInstances > n {
+						j.policy.MinInstances = n
+					}
+				}
+			}
+		}
+	}
+
+	j.ccCfg = classiccloud.Config{
+		JobName:           id,
+		VisibilityTimeout: b.cfg.VisibilityTimeout,
+		PollInterval:      b.cfg.PollInterval,
+		MaxReceives:       b.cfg.MaxReceives,
+		DeadLetterQueue:   id + "-dead",
+	}
+	if req.InjectCrashes > 0 {
+		j.ccCfg.CrashBeforeDelete = func(int, classiccloud.Task) bool {
+			return j.crashBudget.Add(-1) >= 0
+		}
+	}
+	j.cc = classiccloud.NewClient(b.cfg.Env, j.ccCfg)
+	if err := j.cc.Setup(); err != nil {
+		return nil, err
+	}
+	tasks, err := j.cc.SubmitFiles(req.Files)
+	if err != nil {
+		return nil, err
+	}
+	j.tasks = tasks
+	j.started = time.Now()
+	j.lastTick = j.started
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		// The broker closed while we were staging: tear the job's
+		// queues and buckets back down so the shared environment is
+		// not left with orphaned task messages no worker will drain.
+		b.removeJobResources(j.ccCfg)
+		return nil, ErrClosed
+	}
+	b.jobs[id] = j
+	b.order = append(b.order, id)
+	b.wg.Add(1)
+	b.mu.Unlock()
+
+	// Launch the floor fleet immediately; the loop grows it from there.
+	j.mu.Lock()
+	j.scaleTo(j.policy.MinInstances, "initial fleet")
+	j.mu.Unlock()
+
+	go func() {
+		defer b.wg.Done()
+		j.run()
+	}()
+	return j, nil
+}
+
+// removeJobResources best-effort deletes a job's queues and buckets
+// from the shared environment.
+func (b *Broker) removeJobResources(ccCfg classiccloud.Config) {
+	q := b.cfg.Env.Queue
+	_ = q.DeleteQueue(ccCfg.TaskQueue())
+	_ = q.DeleteQueue(ccCfg.MonitorQueue())
+	if ccCfg.DeadLetterQueue != "" {
+		_ = q.DeleteQueue(ccCfg.DeadLetterQueue)
+	}
+	_ = b.cfg.Env.Blob.DeleteBucket(ccCfg.InputBucket())
+	_ = b.cfg.Env.Blob.DeleteBucket(ccCfg.OutputBucket())
+}
+
+// Job looks up a job by id.
+func (b *Broker) Job(id string) (*Job, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	j, ok := b.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (b *Broker) Jobs() []*Job {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Job, 0, len(b.order))
+	for _, id := range b.order {
+		out = append(out, b.jobs[id])
+	}
+	return out
+}
+
+// FleetSize is the broker-wide count of running instances.
+func (b *Broker) FleetSize() int {
+	n := 0
+	for _, j := range b.Jobs() {
+		n += j.fleetSize()
+	}
+	return n
+}
+
+// Close stops every job's autoscaler loop and fleet, and rejects
+// further submissions.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	jobs := make([]*Job, 0, len(b.jobs))
+	for _, j := range b.jobs {
+		jobs = append(jobs, j)
+	}
+	b.mu.Unlock()
+	for _, j := range jobs {
+		j.shutdown()
+	}
+	b.wg.Wait()
+}
+
+// run is the job's control loop: drain the monitor queue, observe the
+// task queue, autoscale, detect completion.
+func (j *Job) run() {
+	ticker := time.NewTicker(j.broker.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-ticker.C:
+		}
+		j.drainMonitor()
+		if j.maybeComplete() {
+			return
+		}
+		j.autoscaleTick()
+	}
+}
+
+// drainMonitor consumes every waiting completion report.
+func (j *Job) drainMonitor() {
+	env := j.broker.cfg.Env
+	for {
+		st, id, ok := receiveMonitor(env.Queue, j.ccCfg.MonitorQueue())
+		if !ok {
+			return
+		}
+		if id == "" {
+			continue // consumed but uncountable (redelivery or corrupt)
+		}
+		j.mu.Lock()
+		switch st {
+		case classiccloud.StatusDead:
+			j.dead[id] = true
+		default:
+			if j.done[id] {
+				j.dups++
+			}
+			j.done[id] = true
+		}
+		j.mu.Unlock()
+	}
+}
+
+// deadOnlyLocked counts dead-lettered tasks that never completed
+// (completion wins when a task lands in both maps, so counts sum to
+// the task total). Caller holds j.mu.
+func (j *Job) deadOnlyLocked() int {
+	n := 0
+	for id := range j.dead {
+		if !j.done[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// settledLocked counts tasks with a terminal status (done or dead).
+func (j *Job) settledLocked() int {
+	return len(j.done) + j.deadOnlyLocked()
+}
+
+// maybeComplete finishes the job once every task is settled: retires
+// the fleet, stamps the end time.
+func (j *Job) maybeComplete() bool {
+	j.mu.Lock()
+	if j.settledLocked() < len(j.tasks) {
+		j.mu.Unlock()
+		return false
+	}
+	j.finished = time.Now()
+	j.state = StateCompleted
+	j.scaleTo(0, "job complete")
+	j.mu.Unlock()
+	j.stopWG.Wait()
+	return true
+}
+
+// autoscaleTick observes the queues and applies one policy decision.
+func (j *Job) autoscaleTick() {
+	env := j.broker.cfg.Env
+	visible, inflight, err := env.Queue.ApproximateCount(j.ccCfg.TaskQueue())
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		// Shutdown raced with this tick; never grow a retired fleet.
+		return
+	}
+	fleet := j.fleetSizeLocked()
+	// Observed per-instance throughput, exponentially smoothed.
+	if dt := now.Sub(j.lastTick).Seconds(); dt > 0 && fleet > 0 {
+		rate := float64(len(j.done)-j.lastDoneCount) / dt / float64(fleet)
+		const alpha = 0.5
+		j.throughput = alpha*rate + (1-alpha)*j.throughput
+	}
+	j.lastDoneCount = len(j.done)
+	j.lastTick = now
+
+	d := j.policy.Decide(Observation{
+		Now:                   now,
+		Visible:               visible,
+		InFlight:              inflight,
+		Fleet:                 fleet,
+		ThroughputPerInstance: j.throughput,
+		LastScaleUp:           j.lastUp,
+		LastScaleDown:         j.lastDown,
+	})
+	if d.Delta == 0 {
+		return
+	}
+	j.scaleTo(fleet+d.Delta, d.Reason)
+}
+
+// scaleTo launches or retires instances until the running count is n.
+// Caller holds j.mu.
+func (j *Job) scaleTo(n int, reason string) {
+	now := time.Now()
+	fleet := j.fleetSizeLocked()
+	for fleet < n {
+		inst, err := classiccloud.StartInstance(j.broker.cfg.Env, j.ccCfg, j.exec,
+			j.broker.cfg.WorkersPerInstance)
+		if err != nil {
+			// Factory preload failures already surfaced at Submit;
+			// treat launch failure as a skipped tick.
+			return
+		}
+		j.fleet = append(j.fleet, &fleetInstance{inst: inst, launched: now})
+		fleet++
+		j.lastUp = now
+		j.events = append(j.events, ScalingEvent{
+			Time: now, Action: "launch", Delta: +1, Fleet: fleet, Reason: reason,
+		})
+	}
+	for fleet > n {
+		fi := j.newestRunningLocked()
+		if fi == nil {
+			return
+		}
+		fi.stopped = now
+		fleet--
+		j.lastDown = now
+		j.events = append(j.events, ScalingEvent{
+			Time: now, Action: "stop", Delta: -1, Fleet: fleet, Reason: reason,
+		})
+		j.stopWG.Add(1)
+		go func() {
+			defer j.stopWG.Done()
+			fi.inst.Stop() // graceful: current tasks finish and ack
+		}()
+	}
+}
+
+// newestRunningLocked returns the most recently launched running
+// instance (LIFO retirement keeps the longest-running instances warm).
+func (j *Job) newestRunningLocked() *fleetInstance {
+	for i := len(j.fleet) - 1; i >= 0; i-- {
+		if j.fleet[i].stopped.IsZero() {
+			return j.fleet[i]
+		}
+	}
+	return nil
+}
+
+// Preempt simulates a spot-instance reclaim: one running instance is
+// killed mid-task, abandoning un-acknowledged work to the visibility
+// timeout. It reports whether an instance was available to preempt.
+func (j *Job) Preempt() bool {
+	now := time.Now()
+	j.mu.Lock()
+	fi := j.newestRunningLocked()
+	if fi == nil {
+		j.mu.Unlock()
+		return false
+	}
+	fi.stopped = now
+	fi.preempted = true
+	fleet := j.fleetSizeLocked()
+	j.lastDown = now
+	j.events = append(j.events, ScalingEvent{
+		Time: now, Action: "preempt", Delta: -1, Fleet: fleet, Reason: "spot reclaim",
+	})
+	j.stopWG.Add(1)
+	j.mu.Unlock()
+	go func() {
+		defer j.stopWG.Done()
+		fi.inst.Kill()
+	}()
+	return true
+}
+
+func (j *Job) fleetSize() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fleetSizeLocked()
+}
+
+func (j *Job) fleetSizeLocked() int {
+	n := 0
+	for _, fi := range j.fleet {
+		if fi.stopped.IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// shutdown stops the control loop and the fleet (used by Broker.Close
+// on jobs that have not completed).
+func (j *Job) shutdown() {
+	j.mu.Lock()
+	select {
+	case <-j.stop:
+	default:
+		close(j.stop)
+	}
+	if j.state == StateRunning {
+		// Not a completion: tasks may still be unsettled, and callers
+		// waiting on the job must see the abort, not a success.
+		j.state = StateAborted
+		j.finished = time.Now()
+		j.scaleTo(0, "broker shutdown")
+	}
+	j.mu.Unlock()
+	j.stopWG.Wait()
+}
+
+// Wait blocks until the job completes or the timeout expires. An
+// aborted job (broker shut down mid-run) returns an error: its
+// outputs are partial.
+func (j *Job) Wait(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		j.mu.Lock()
+		state, settled, total := j.state, j.settledLocked(), len(j.tasks)
+		j.mu.Unlock()
+		switch state {
+		case StateCompleted:
+			return nil
+		case StateAborted:
+			return fmt.Errorf("broker: job %s aborted with %d/%d tasks settled", j.ID, settled, total)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("broker: job %s timeout with %d/%d tasks settled", j.ID, settled, total)
+		}
+		time.Sleep(j.broker.cfg.TickInterval / 2)
+	}
+}
+
+// Status is a point-in-time job summary.
+type Status struct {
+	ID           string   `json:"id"`
+	App          string   `json:"app"`
+	State        JobState `json:"state"`
+	InstanceType string   `json:"instance_type"`
+	Total        int      `json:"total"`
+	Done         int      `json:"done"`
+	Dead         int      `json:"dead"`
+	Duplicates   int      `json:"duplicates"`
+	Fleet        int      `json:"fleet"`
+	Elapsed      string   `json:"elapsed"`
+	// PlannedInstances and PlanMeetsTarget report the cost-aware
+	// selection when a target makespan was requested.
+	PlannedInstances int  `json:"planned_instances,omitempty"`
+	PlanMeetsTarget  bool `json:"plan_meets_target,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	deadOnly := j.deadOnlyLocked()
+	elapsed := time.Since(j.started)
+	if !j.finished.IsZero() {
+		elapsed = j.finished.Sub(j.started)
+	}
+	s := Status{
+		ID:           j.ID,
+		App:          j.App,
+		State:        j.state,
+		InstanceType: fmt.Sprintf("%s/%s", j.itype.Provider, j.itype.Name),
+		Total:        len(j.tasks),
+		Done:         len(j.done),
+		Dead:         deadOnly,
+		Duplicates:   j.dups,
+		Fleet:        j.fleetSizeLocked(),
+		Elapsed:      elapsed.Round(time.Millisecond).String(),
+	}
+	if j.plan != nil {
+		s.PlannedInstances = j.plan.Instances()
+		s.PlanMeetsTarget = j.plan.MeetsTarget
+	}
+	return s
+}
+
+// Events returns a copy of the scaling event log.
+func (j *Job) Events() []ScalingEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]ScalingEvent(nil), j.events...)
+}
+
+// DeadLetters returns the IDs of dead-lettered tasks.
+func (j *Job) DeadLetters() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.dead))
+	for id := range j.dead {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CostReport prices the job's fleet in the paper's hour-unit
+// convention and compares it against a fixed fleet of MaxInstances
+// held for the whole job.
+type CostReport struct {
+	InstanceType  string  `json:"instance_type"`
+	Launches      int     `json:"launches"`
+	Preemptions   int     `json:"preemptions"`
+	HourUnits     float64 `json:"hour_units"`
+	ComputeCost   float64 `json:"compute_cost_usd"`
+	AmortizedCost float64 `json:"amortized_cost_usd"`
+	QueueRequests int64   `json:"queue_requests"`
+	QueueCost     float64 `json:"queue_cost_usd"`
+	Elapsed       string  `json:"elapsed"`
+	Utilization   float64 `json:"utilization"`
+	TasksPerUSD   float64 `json:"tasks_per_usd"`
+	// Fixed-fleet baseline: MaxInstances instances for the whole job,
+	// billed in the same hour units.
+	FixedFleet       int     `json:"fixed_fleet"`
+	FixedHourUnits   float64 `json:"fixed_hour_units"`
+	FixedComputeCost float64 `json:"fixed_compute_cost_usd"`
+}
+
+// CostReport computes the job's bill so far (final once completed).
+func (j *Job) CostReport() CostReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now()
+	end := j.finished
+	if end.IsZero() {
+		end = now
+	}
+	var hourUnits, amortized float64
+	var busy, allocated time.Duration
+	preempts := 0
+	for _, fi := range j.fleet {
+		stop := fi.stopped
+		if stop.IsZero() {
+			stop = now
+		}
+		life := stop.Sub(fi.launched)
+		bill := cloud.ComputeBill(j.itype, 1, life)
+		hourUnits += bill.HourUnits
+		amortized += bill.Amortized
+		busy += time.Duration(fi.inst.Stats().BusyNanos.Load())
+		allocated += life * time.Duration(j.broker.cfg.WorkersPerInstance)
+		if fi.preempted {
+			preempts++
+		}
+	}
+	elapsed := end.Sub(j.started)
+	fixedBill := cloud.ComputeBill(j.itype, j.policy.MaxInstances, elapsed)
+	// Bill only this job's queues: the service-wide counter would
+	// cross-charge concurrent jobs' traffic.
+	svc := j.broker.cfg.Env.Queue
+	queueReq := svc.APIRequestsFor(j.ccCfg.TaskQueue()) +
+		svc.APIRequestsFor(j.ccCfg.MonitorQueue()) +
+		svc.APIRequestsFor(j.ccCfg.DeadLetterQueue)
+	rates := cloud.AWSRates
+	if j.itype.Provider == cloud.Azure {
+		rates = cloud.AzureRates
+	}
+	computeCost := hourUnits * j.itype.CostPerHour
+	queueCost := rates.ServiceCost(int(queueReq), 0, 0, 0)
+	return CostReport{
+		InstanceType:     fmt.Sprintf("%s/%s", j.itype.Provider, j.itype.Name),
+		Launches:         len(j.fleet),
+		Preemptions:      preempts,
+		HourUnits:        hourUnits,
+		ComputeCost:      computeCost,
+		AmortizedCost:    amortized,
+		QueueRequests:    queueReq,
+		QueueCost:        queueCost,
+		Elapsed:          elapsed.Round(time.Millisecond).String(),
+		Utilization:      metrics.FleetUtilization(busy, allocated),
+		TasksPerUSD:      metrics.TasksPerDollar(len(j.done), computeCost+queueCost),
+		FixedFleet:       j.policy.MaxInstances,
+		FixedHourUnits:   fixedBill.HourUnits,
+		FixedComputeCost: fixedBill.ComputeCost,
+	}
+}
+
+// CollectOutputs downloads the outputs of completed tasks.
+func (j *Job) CollectOutputs() (map[string][]byte, error) {
+	j.mu.Lock()
+	var completed []classiccloud.Task
+	for _, t := range j.tasks {
+		if j.done[t.ID] {
+			completed = append(completed, t)
+		}
+	}
+	j.mu.Unlock()
+	return j.cc.CollectOutputs(completed)
+}
+
+// receiveMonitor pops one completion report; ok is false when the
+// monitor queue is empty.
+func receiveMonitor(svc *queue.Service, queueName string) (status, taskID string, ok bool) {
+	m, ok, err := svc.ReceiveMessage(queueName, time.Minute)
+	if err != nil || !ok {
+		return "", "", false
+	}
+	st, id, perr := classiccloud.ParseMonitorMessage(m.Body)
+	if derr := svc.DeleteMessage(queueName, m.ReceiptHandle); derr != nil {
+		// Redelivered report: it was or will be counted under its
+		// authoritative receipt.
+		return "", "", true
+	}
+	if perr != nil {
+		return "", "", true
+	}
+	return st, id, true
+}

@@ -1,0 +1,161 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/blast"
+	"repro/internal/cap3"
+	"repro/internal/classiccloud"
+	"repro/internal/cloud"
+	"repro/internal/fasta"
+	"repro/internal/gtm"
+	"repro/internal/perfmodel"
+)
+
+// ExecutorFactory builds the executor for one job from the job's shared
+// data (the BLAST database, the trained GTM model). The factory runs
+// once per job submission; the returned executor is shared by every
+// instance the autoscaler launches.
+type ExecutorFactory func(shared map[string][]byte) (classiccloud.Executor, error)
+
+// DefaultRegistry maps the paper's three applications to factories:
+//
+//	cap3   — FASTA shotgun reads in, assembled contigs out; no shared data
+//	blast  — query files in, hit reports out; shared data is the
+//	         database, one or more FASTA documents
+//	gtm    — encoded point shards in, embedded coordinates out; shared
+//	         data is one Marshal()ed trained model
+func DefaultRegistry() map[string]ExecutorFactory {
+	return map[string]ExecutorFactory{
+		"cap3": func(map[string][]byte) (classiccloud.Executor, error) {
+			return classiccloud.FuncExecutor{
+				AppName: "cap3",
+				Fn: func(_ classiccloud.Task, input []byte) ([]byte, error) {
+					return cap3.Run(input, cap3.Options{})
+				},
+			}, nil
+		},
+		"blast": func(shared map[string][]byte) (classiccloud.Executor, error) {
+			var seqs []*fasta.Record
+			for _, name := range sortedKeys(shared) {
+				recs, err := fasta.ParseBytes(shared[name])
+				if err != nil {
+					return nil, fmt.Errorf("broker: blast database %s: %w", name, err)
+				}
+				seqs = append(seqs, recs...)
+			}
+			if len(seqs) == 0 {
+				return nil, fmt.Errorf("broker: blast job needs a shared FASTA database")
+			}
+			db := blast.NewDatabase(seqs)
+			return classiccloud.FuncExecutor{
+				AppName: "blast",
+				Fn: func(_ classiccloud.Task, input []byte) ([]byte, error) {
+					return blast.Run(input, db, blast.Options{})
+				},
+			}, nil
+		},
+		"gtm": func(shared map[string][]byte) (classiccloud.Executor, error) {
+			keys := sortedKeys(shared)
+			if len(keys) != 1 {
+				return nil, fmt.Errorf("broker: gtm job needs exactly one shared model, got %d", len(keys))
+			}
+			model, err := gtm.UnmarshalModel(shared[keys[0]])
+			if err != nil {
+				return nil, fmt.Errorf("broker: gtm model: %w", err)
+			}
+			return classiccloud.FuncExecutor{
+				AppName: "gtm",
+				Fn: func(_ classiccloud.Task, input []byte) ([]byte, error) {
+					return gtm.Run(model, input)
+				},
+			}, nil
+		},
+	}
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// planningModel returns the calibrated paper workload model used for
+// cost-aware instance selection, when one exists for the app. The
+// planner only needs to be roughly right: the autoscaler corrects
+// fleet size from observed load once the job runs.
+func planningModel(app string) (perfmodel.AppModel, bool) {
+	switch app {
+	case "cap3":
+		// Table 4's workload shape: 458-read FASTA files.
+		return perfmodel.Cap3Model(458), true
+	case "blast":
+		// Figure 7's workload shape: 100-query files.
+		return perfmodel.BlastModel(100), true
+	case "gtm":
+		// Figure 12's workload shape: 100k-point shards.
+		return perfmodel.GTMModel(100000), true
+	}
+	return perfmodel.AppModel{}, false
+}
+
+// PlanFleet picks the cheapest (instance type, fleet size) meeting the
+// target makespan across the catalog, simulating Azure types under the
+// Azure Classic Cloud framework and everything else under EC2's
+// (bare-metal entries with no hourly price are not purchasable and are
+// skipped). When no configuration qualifies it returns the fastest one
+// found with MeetsTarget=false; ok is false only for an empty catalog.
+func PlanFleet(app perfmodel.AppModel, nFiles int, target time.Duration,
+	catalog []cloud.InstanceType, maxInstances int) (perfmodel.Selection, bool) {
+	var azure, ec2 []cloud.InstanceType
+	for _, it := range catalog {
+		if it.CostPerHour <= 0 {
+			continue
+		}
+		if it.Provider == cloud.Azure {
+			azure = append(azure, it)
+		} else {
+			ec2 = append(ec2, it)
+		}
+	}
+	groups := []struct {
+		framework perfmodel.Framework
+		types     []cloud.InstanceType
+	}{
+		{perfmodel.ClassicEC2, ec2},
+		{perfmodel.ClassicAzure, azure},
+	}
+	var best perfmodel.Selection
+	have := false
+	for _, group := range groups {
+		if len(group.types) == 0 {
+			continue
+		}
+		sel := perfmodel.PickCheapest(app, group.framework, nFiles, target, group.types, maxInstances)
+		if !have {
+			best, have = sel, true
+			continue
+		}
+		switch {
+		case sel.MeetsTarget && !best.MeetsTarget:
+			best = sel
+		case !sel.MeetsTarget && best.MeetsTarget:
+			// keep best
+		case sel.MeetsTarget:
+			if sel.Outcome.Bill.ComputeCost < best.Outcome.Bill.ComputeCost {
+				best = sel
+			}
+		default:
+			// Neither meets the target: fall back to the faster one.
+			if sel.Outcome.Makespan < best.Outcome.Makespan {
+				best = sel
+			}
+		}
+	}
+	return best, have
+}

@@ -68,6 +68,21 @@ type Config struct {
 	// the worker "dies" after executing but before deleting the task, so
 	// the visibility timeout must recover the work.
 	CrashBeforeDelete func(workerID int, task Task) bool
+	// HeartbeatInterval is how often a worker renews its task lease
+	// (ChangeVisibility) while processing, so tasks slower than the
+	// visibility timeout are not spuriously redelivered — the
+	// long-running-worker pattern the queue API exists to support.
+	// Defaults to VisibilityTimeout/3; negative disables renewal.
+	HeartbeatInterval time.Duration
+	// MaxReceives caps deliveries per task message. A message received
+	// more than MaxReceives times is treated as poison: it is removed
+	// from the task queue and, when DeadLetterQueue is set, parked there
+	// for offline inspection (the SQS redrive-policy pattern). 0 disables
+	// the cap, preserving the seed's retry-forever behaviour.
+	MaxReceives int
+	// DeadLetterQueue receives poison task messages (over the receive
+	// cap, or undecodable). Empty means poison messages are dropped.
+	DeadLetterQueue string
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 2 * time.Millisecond
 	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = c.VisibilityTimeout / 3
+	}
 	return c
 }
 
@@ -93,17 +111,42 @@ func (c Config) withDefaults() Config {
 func (c Config) taskQueue() string    { return c.JobName + "-tasks" }
 func (c Config) monitorQueue() string { return c.JobName + "-monitor" }
 
+// TaskQueue returns the job's scheduling queue name (for layers, like
+// the elastic broker, that observe queue depth directly).
+func (c Config) TaskQueue() string { return c.taskQueue() }
+
+// MonitorQueue returns the job's monitoring queue name.
+func (c Config) MonitorQueue() string { return c.monitorQueue() }
+
+// ParseMonitorMessage decodes one monitoring-queue report into its
+// terminal status (StatusDone or StatusDead) and task ID.
+func ParseMonitorMessage(body []byte) (status, taskID string, err error) {
+	var mm monitorMsg
+	if err := json.Unmarshal(body, &mm); err != nil {
+		return "", "", fmt.Errorf("classiccloud: bad monitor message: %w", err)
+	}
+	return mm.Status, mm.TaskID, nil
+}
+
 // InputBucket returns the job's input bucket name.
 func (c Config) InputBucket() string { return c.JobName + "-input" }
 
 // OutputBucket returns the job's output bucket name.
 func (c Config) OutputBucket() string { return c.JobName + "-output" }
 
+// Task terminal statuses reported on the monitor queue.
+const (
+	StatusDone = "done"
+	// StatusDead marks a task that exhausted its receive cap and was
+	// parked on the dead-letter queue instead of completing.
+	StatusDead = "dead"
+)
+
 // monitorMsg is the completion report workers push to the monitor queue.
 type monitorMsg struct {
 	TaskID   string `json:"task_id"`
 	WorkerID int    `json:"worker_id"`
-	Status   string `json:"status"` // "done"
+	Status   string `json:"status"` // StatusDone or StatusDead
 }
 
 // Client drives a Classic Cloud job: setup, submission, and completion
@@ -120,7 +163,11 @@ func NewClient(env Env, cfg Config) *Client {
 
 // Setup creates the job's queues and buckets. It is idempotent.
 func (c *Client) Setup() error {
-	for _, q := range []string{c.cfg.taskQueue(), c.cfg.monitorQueue()} {
+	queues := []string{c.cfg.taskQueue(), c.cfg.monitorQueue()}
+	if c.cfg.DeadLetterQueue != "" {
+		queues = append(queues, c.cfg.DeadLetterQueue)
+	}
+	for _, q := range queues {
 		if err := c.env.Queue.CreateQueue(q); err != nil && !errors.Is(err, queue.ErrQueueExists) {
 			return fmt.Errorf("classiccloud: creating queue %s: %w", q, err)
 		}
@@ -177,23 +224,39 @@ func sortStrings(s []string) {
 // Report summarizes a completed job.
 type Report struct {
 	Completed     int
+	DeadLettered  int // tasks parked on the dead-letter queue
 	Duplicates    int // tasks reported done more than once (re-execution)
 	Elapsed       time.Duration
 	QueueRequests int64
 }
 
 // WaitForCompletion drains the monitoring queue until every task has
-// reported done (verifying outputs exist), or the timeout expires.
+// reported a terminal status — done (verifying outputs exist) or dead
+// (parked on the dead-letter queue) — or the timeout expires.
 func (c *Client) WaitForCompletion(tasks []Task, timeout time.Duration) (Report, error) {
 	start := time.Now()
 	deadline := start.Add(timeout)
 	done := make(map[string]bool, len(tasks))
+	dead := make(map[string]bool)
 	dups := 0
-	for len(done) < len(tasks) {
+	// deadOnly excludes tasks that were both dead-lettered and completed
+	// (one delivery burned the receive cap while a slow worker finished
+	// anyway); completion wins so counts sum to the task total.
+	deadOnly := func() int {
+		n := 0
+		for id := range dead {
+			if !done[id] {
+				n++
+			}
+		}
+		return n
+	}
+	settled := func() int { return len(done) + deadOnly() }
+	for settled() < len(tasks) {
 		if time.Now().After(deadline) {
-			return Report{Completed: len(done), Duplicates: dups, Elapsed: time.Since(start)},
+			return Report{Completed: len(done), DeadLettered: deadOnly(), Duplicates: dups, Elapsed: time.Since(start)},
 				fmt.Errorf("classiccloud: timeout after %v with %d/%d tasks complete",
-					timeout, len(done), len(tasks))
+					timeout, settled(), len(tasks))
 		}
 		m, ok, err := c.env.Queue.ReceiveMessage(c.cfg.monitorQueue(), time.Minute)
 		if err != nil {
@@ -210,20 +273,29 @@ func (c *Client) WaitForCompletion(tasks []Task, timeout time.Duration) (Report,
 		if err := c.env.Queue.DeleteMessage(c.cfg.monitorQueue(), m.ReceiptHandle); err != nil {
 			continue // redelivered monitor message; count once via the map
 		}
+		if mm.Status == StatusDead {
+			dead[mm.TaskID] = true
+			continue
+		}
 		if done[mm.TaskID] {
 			dups++
 		}
 		done[mm.TaskID] = true
 	}
-	// Verify all outputs are present (consistent read: the client retries
-	// until visible in a real deployment).
+	// Verify all completed outputs are present (consistent read: the
+	// client retries until visible in a real deployment). Dead-lettered
+	// tasks produced no output by definition.
 	for _, t := range tasks {
+		if dead[t.ID] && !done[t.ID] {
+			continue
+		}
 		if ok, err := c.env.Blob.Exists(t.OutputBucket, t.OutputKey); err != nil || !ok {
 			return Report{}, fmt.Errorf("classiccloud: output %s missing after completion", t.OutputKey)
 		}
 	}
 	return Report{
 		Completed:     len(done),
+		DeadLettered:  deadOnly(),
 		Duplicates:    dups,
 		Elapsed:       time.Since(start),
 		QueueRequests: c.env.Queue.APIRequests(),
@@ -279,15 +351,21 @@ type Instance struct {
 	wg      sync.WaitGroup
 	stats   InstanceStats
 	stopped atomic.Bool
+	killed  atomic.Bool
 }
 
 // InstanceStats counts worker activity.
 type InstanceStats struct {
 	TasksExecuted  atomic.Int64
 	TasksAbandoned atomic.Int64 // crash-injected abandonments
+	DeadLettered   atomic.Int64 // poison tasks parked on the dead-letter queue
 	ExecErrors     atomic.Int64
 	StaleDeletes   atomic.Int64 // task finished by us but lease had expired
 	DownloadRetrys atomic.Int64
+	// BusyNanos accumulates wall time workers spent inside the task
+	// pipeline (download → execute → upload), the numerator of fleet
+	// utilization.
+	BusyNanos atomic.Int64
 }
 
 // StartInstance launches workersPerInstance worker goroutines. The
@@ -308,12 +386,24 @@ func StartInstance(env Env, cfg Config, exec Executor, workersPerInstance int) (
 	return inst, nil
 }
 
-// Stop shuts the instance down and waits for workers to exit.
+// Stop shuts the instance down and waits for workers to exit. Workers
+// finish (and acknowledge) their current task first — the graceful
+// drain of a planned scale-down.
 func (inst *Instance) Stop() {
 	if inst.stopped.CompareAndSwap(false, true) {
 		close(inst.stop)
 	}
 	inst.wg.Wait()
+}
+
+// Kill simulates a worker crash or spot-instance preemption: workers
+// abandon whatever task they are processing without acknowledging or
+// uploading it, so the queue's visibility timeout must recover the
+// work on another instance — the paper's fault-tolerance story
+// exercised for real.
+func (inst *Instance) Kill() {
+	inst.killed.Store(true)
+	inst.Stop()
 }
 
 // Stats exposes the instance counters.
@@ -338,17 +428,53 @@ func (inst *Instance) workerLoop(workerID int) {
 		}
 		var task Task
 		if err := json.Unmarshal(m.Body, &task); err != nil {
-			// Poison message: drop it so it cannot wedge the queue.
-			_ = inst.env.Queue.DeleteMessage(inst.cfg.taskQueue(), m.ReceiptHandle)
+			// Undecodable message: park it so it cannot wedge the queue.
+			inst.deadLetter(workerID, "", m)
+			continue
+		}
+		if inst.cfg.MaxReceives > 0 && m.Receives > inst.cfg.MaxReceives {
+			// Poison task: it has burned through its retry budget
+			// (executor failures, repeated crashes) — take it out of
+			// rotation instead of retrying forever.
+			inst.deadLetter(workerID, task.ID, m)
 			continue
 		}
 		inst.processTask(workerID, task, m.ReceiptHandle)
 	}
 }
 
+// deadLetter removes a poison message from the task queue, parks its
+// body on the dead-letter queue (when configured), and reports the task
+// dead on the monitor queue so clients stop waiting for it.
+func (inst *Instance) deadLetter(workerID int, taskID string, m queue.Message) {
+	if inst.cfg.DeadLetterQueue != "" {
+		if _, err := inst.env.Queue.SendMessage(inst.cfg.DeadLetterQueue, m.Body); err != nil {
+			// Keep the message in the task queue rather than lose it:
+			// it will be redelivered and dead-lettering retried.
+			return
+		}
+	}
+	if err := inst.env.Queue.DeleteMessage(inst.cfg.taskQueue(), m.ReceiptHandle); err != nil {
+		inst.stats.StaleDeletes.Add(1)
+		return
+	}
+	inst.stats.DeadLettered.Add(1)
+	if taskID != "" {
+		mm, _ := json.Marshal(monitorMsg{TaskID: taskID, WorkerID: workerID, Status: StatusDead})
+		_, _ = inst.env.Queue.SendMessage(inst.cfg.monitorQueue(), mm)
+	}
+}
+
 // processTask is the worker pipeline of Figure 1: download → execute →
 // upload → delete → report.
 func (inst *Instance) processTask(workerID int, task Task, receipt string) {
+	start := time.Now()
+	defer func() { inst.stats.BusyNanos.Add(int64(time.Since(start))) }()
+	if inst.cfg.HeartbeatInterval > 0 {
+		stopRenew := make(chan struct{})
+		defer close(stopRenew)
+		go inst.renewLease(receipt, stopRenew)
+	}
 	input, err := inst.downloadWithRetry(task.InputBucket, task.InputKey)
 	if err != nil {
 		// Leave the message undeleted; it will reappear and be retried.
@@ -359,6 +485,12 @@ func (inst *Instance) processTask(workerID int, task Task, receipt string) {
 	if err != nil {
 		inst.stats.ExecErrors.Add(1)
 		return // visibility timeout will re-expose the task
+	}
+	if inst.killed.Load() {
+		// The instance was preempted mid-task: abandon without
+		// acknowledging so the visibility timeout re-exposes the work.
+		inst.stats.TasksAbandoned.Add(1)
+		return
 	}
 	if inst.cfg.CrashBeforeDelete != nil && inst.cfg.CrashBeforeDelete(workerID, task) {
 		// Simulated worker death after doing the work but before the
@@ -378,6 +510,30 @@ func (inst *Instance) processTask(workerID int, task Task, receipt string) {
 	}
 	mm, _ := json.Marshal(monitorMsg{TaskID: task.ID, WorkerID: workerID, Status: "done"})
 	_, _ = inst.env.Queue.SendMessage(inst.cfg.monitorQueue(), mm)
+}
+
+// renewLease extends the task's visibility timeout every heartbeat so
+// a long-running task keeps its lease. Renewal stops when processing
+// ends, when the instance is killed (preempted work must reappear
+// promptly), or when the receipt goes stale (the lease was lost and
+// another worker owns the task).
+func (inst *Instance) renewLease(receipt string, done <-chan struct{}) {
+	ticker := time.NewTicker(inst.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			if inst.killed.Load() {
+				return
+			}
+			if err := inst.env.Queue.ChangeVisibility(
+				inst.cfg.taskQueue(), receipt, inst.cfg.VisibilityTimeout); err != nil {
+				return
+			}
+		}
+	}
 }
 
 // downloadWithRetry tolerates eventual-consistency NotFound responses by

@@ -435,3 +435,101 @@ func TestProgressTracking(t *testing.T) {
 		t.Error("progress of unknown job should error")
 	}
 }
+
+func TestDeadLetterAfterReceiveCap(t *testing.T) {
+	env := testEnv()
+	poison := FuncExecutor{
+		AppName: "poison",
+		Fn: func(task Task, input []byte) ([]byte, error) {
+			if task.ID == "file001.txt" {
+				return nil, errors.New("permanently broken input")
+			}
+			return bytes.ToUpper(input), nil
+		},
+	}
+	cfg := Config{
+		JobName:           "dlq",
+		VisibilityTimeout: 20 * time.Millisecond,
+		MaxReceives:       3,
+		DeadLetterQueue:   "dlq-dead",
+	}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := client.SubmitFiles(makeFiles(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := StartInstance(env, cfg, poison, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	rep, err := client.WaitForCompletion(tasks, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 4 {
+		t.Errorf("Completed = %d, want 4", rep.Completed)
+	}
+	if rep.DeadLettered != 1 {
+		t.Errorf("DeadLettered = %d, want 1", rep.DeadLettered)
+	}
+	if got := inst.Stats().DeadLettered.Load(); got != 1 {
+		t.Errorf("instance DeadLettered = %d, want 1", got)
+	}
+	// The poison message is parked, intact, on the dead-letter queue.
+	visible, inflight, err := env.Queue.ApproximateCount("dlq-dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visible+inflight != 1 {
+		t.Errorf("dead-letter queue holds %d messages, want 1", visible+inflight)
+	}
+	// Task queue must be fully drained: poison cannot wedge it.
+	visible, inflight, err = env.Queue.ApproximateCount(cfg.TaskQueue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visible+inflight != 0 {
+		t.Errorf("task queue still holds %d messages", visible+inflight)
+	}
+}
+
+func TestKillAbandonsInFlightWork(t *testing.T) {
+	env := testEnv()
+	cfg := Config{JobName: "kill", VisibilityTimeout: 30 * time.Millisecond}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := client.SubmitFiles(makeFiles(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := StartInstance(env, cfg, slowUpperExec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the victim pick up work, then preempt it mid-stream.
+	time.Sleep(5 * time.Millisecond)
+	victim.Kill()
+	// A survivor fleet recovers the abandoned tasks via the visibility
+	// timeout.
+	survivor, err := StartInstance(env, cfg, slowUpperExec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Stop()
+	rep, err := client.WaitForCompletion(tasks, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(tasks) {
+		t.Errorf("Completed = %d, want %d", rep.Completed, len(tasks))
+	}
+	if victim.Stats().TasksAbandoned.Load() == 0 {
+		t.Error("victim abandoned no tasks; Kill was a graceful stop")
+	}
+}

@@ -101,3 +101,30 @@ type SpeedupCurvePoint struct {
 func (p SpeedupCurvePoint) String() string {
 	return fmt.Sprintf("cores=%d tp=%s eff=%.3f", p.Cores, p.Tp.Round(time.Millisecond), p.Efficiency)
 }
+
+// FleetUtilization is the elastic-fleet counterpart of Equation 1:
+// the fraction of allocated instance time spent inside the task
+// pipeline. Section 4.3's owned-cluster economics hinge on exactly this
+// ratio — a fixed fleet sized for peak load idles between bursts, while
+// an autoscaled fleet keeps it near 1.
+func FleetUtilization(busy, allocated time.Duration) float64 {
+	if allocated <= 0 {
+		return 0
+	}
+	u := float64(busy) / float64(allocated)
+	if u > 1 {
+		// Concurrent workers on one instance can accumulate more busy
+		// time than wall time; clamp to the meaningful range.
+		u = 1
+	}
+	return u
+}
+
+// TasksPerDollar expresses throughput per unit cost, the figure of
+// merit behind the paper's cost-effectiveness tables.
+func TasksPerDollar(tasks int, costUSD float64) float64 {
+	if costUSD <= 0 {
+		return 0
+	}
+	return float64(tasks) / costUSD
+}

@@ -107,3 +107,24 @@ func TestSpeedupCurvePointString(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+func TestFleetUtilization(t *testing.T) {
+	if got := FleetUtilization(30*time.Minute, time.Hour); got != 0.5 {
+		t.Errorf("FleetUtilization = %v, want 0.5", got)
+	}
+	if got := FleetUtilization(2*time.Hour, time.Hour); got != 1 {
+		t.Errorf("FleetUtilization clamp = %v, want 1", got)
+	}
+	if got := FleetUtilization(time.Hour, 0); got != 0 {
+		t.Errorf("FleetUtilization with zero allocation = %v, want 0", got)
+	}
+}
+
+func TestTasksPerDollar(t *testing.T) {
+	if got := TasksPerDollar(4096, 16.32); got <= 250 || got >= 252 {
+		t.Errorf("TasksPerDollar = %v, want ≈ 251", got)
+	}
+	if got := TasksPerDollar(10, 0); got != 0 {
+		t.Errorf("TasksPerDollar free compute = %v, want 0", got)
+	}
+}

@@ -1,0 +1,83 @@
+package perfmodel
+
+import (
+	"time"
+
+	"repro/internal/cloud"
+)
+
+// Selection is the outcome of a cost-aware instance-sizing decision: the
+// cheapest (instance type, fleet size) pair whose simulated makespan
+// meets the caller's target. This is the planning step the elastic
+// broker runs before launching a fleet — the paper prices every
+// instance type for a fixed workload (Figures 3, 7, 12); the broker
+// inverts that table to answer "which type, and how many, for this
+// deadline at least cost?".
+type Selection struct {
+	Spec    RunSpec
+	Outcome Outcome
+	// MeetsTarget reports whether the predicted makespan is within the
+	// requested target. When no candidate qualifies the selection falls
+	// back to the fastest achievable configuration and MeetsTarget is
+	// false.
+	MeetsTarget bool
+}
+
+// Instances returns the selected fleet size.
+func (s Selection) Instances() int { return s.Spec.Instances }
+
+// InstanceType returns the selected instance type.
+func (s Selection) InstanceType() cloud.InstanceType { return s.Spec.Instance }
+
+// PickCheapest searches catalog × fleet-size (1..maxInstances) for the
+// configuration with the lowest hour-unit compute cost whose simulated
+// makespan is at most target. Ties break toward fewer instances, then
+// the shorter makespan. When no configuration meets the target it
+// returns the fastest one found with MeetsTarget=false.
+func PickCheapest(app AppModel, f Framework, nFiles int, target time.Duration,
+	catalog []cloud.InstanceType, maxInstances int) Selection {
+	if maxInstances <= 0 {
+		maxInstances = 1
+	}
+	var best, fastest Selection
+	haveBest, haveFastest := false, false
+	for _, it := range catalog {
+		for n := 1; n <= maxInstances; n++ {
+			spec := RunSpec{
+				App: app, Framework: f, Instance: it, Instances: n,
+				NFiles: nFiles,
+			}
+			out := Simulate(spec)
+			cand := Selection{Spec: spec, Outcome: out, MeetsTarget: out.Makespan <= target}
+			if !haveFastest || out.Makespan < fastest.Outcome.Makespan {
+				fastest, haveFastest = cand, true
+			}
+			if !cand.MeetsTarget {
+				continue
+			}
+			if !haveBest || cheaper(cand, best) {
+				best, haveBest = cand, true
+			}
+			// Keep scanning larger fleets: hour-unit billing means a
+			// bigger fleet that finishes just under an hour boundary can
+			// bill fewer hour units than a smaller, slower one.
+		}
+	}
+	if haveBest {
+		return best
+	}
+	return fastest
+}
+
+// cheaper orders selections by hour-unit cost, then fleet size, then
+// makespan.
+func cheaper(a, b Selection) bool {
+	ca, cb := a.Outcome.Bill.ComputeCost, b.Outcome.Bill.ComputeCost
+	if ca != cb {
+		return ca < cb
+	}
+	if a.Spec.Instances != b.Spec.Instances {
+		return a.Spec.Instances < b.Spec.Instances
+	}
+	return a.Outcome.Makespan < b.Outcome.Makespan
+}

@@ -1,0 +1,72 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+)
+
+func TestPickCheapestMeetsTarget(t *testing.T) {
+	app := Cap3Model(458)
+	sel := PickCheapest(app, ClassicEC2, 128, time.Hour, cloud.EC2Catalog(), 16)
+	if !sel.MeetsTarget {
+		t.Fatalf("no EC2 config meets 1h for 128 files (fastest %v)", sel.Outcome.Makespan)
+	}
+	if sel.Outcome.Makespan > time.Hour {
+		t.Errorf("makespan %v exceeds target", sel.Outcome.Makespan)
+	}
+	if sel.Instances() < 1 || sel.Instances() > 16 {
+		t.Errorf("instances = %d out of range", sel.Instances())
+	}
+}
+
+func TestPickCheapestIsMinimal(t *testing.T) {
+	app := Cap3Model(458)
+	const nFiles, maxN = 96, 8
+	target := time.Hour
+	sel := PickCheapest(app, ClassicEC2, nFiles, target, cloud.EC2Catalog(), maxN)
+	if !sel.MeetsTarget {
+		t.Fatal("expected a qualifying selection")
+	}
+	for _, it := range cloud.EC2Catalog() {
+		for n := 1; n <= maxN; n++ {
+			out := Simulate(RunSpec{App: app, Framework: ClassicEC2, Instance: it, Instances: n, NFiles: nFiles})
+			if out.Makespan <= target && out.Bill.ComputeCost < sel.Outcome.Bill.ComputeCost {
+				t.Errorf("%s ×%d: $%.2f beats selected $%.2f",
+					it.Name, n, out.Bill.ComputeCost, sel.Outcome.Bill.ComputeCost)
+			}
+		}
+	}
+}
+
+func TestPickCheapestImpossibleTargetFallsBackToFastest(t *testing.T) {
+	app := Cap3Model(458)
+	sel := PickCheapest(app, ClassicEC2, 64, time.Nanosecond, cloud.EC2Catalog(), 4)
+	if sel.MeetsTarget {
+		t.Error("MeetsTarget for a nanosecond deadline")
+	}
+	// The fallback must be the fastest scanned configuration.
+	for _, it := range cloud.EC2Catalog() {
+		for n := 1; n <= 4; n++ {
+			out := Simulate(RunSpec{App: app, Framework: ClassicEC2, Instance: it, Instances: n, NFiles: 64})
+			if out.Makespan < sel.Outcome.Makespan {
+				t.Errorf("%s ×%d makespan %v beats fallback %v",
+					it.Name, n, out.Makespan, sel.Outcome.Makespan)
+			}
+		}
+	}
+}
+
+func TestPickCheapestTinyWorkloadPrefersSmallFleet(t *testing.T) {
+	// One file cannot use a second instance: the planner must not pay
+	// for one.
+	app := Cap3Model(458)
+	sel := PickCheapest(app, ClassicEC2, 1, time.Hour, cloud.EC2Catalog(), 16)
+	if !sel.MeetsTarget {
+		t.Fatal("one file should fit in an hour")
+	}
+	if sel.Instances() != 1 {
+		t.Errorf("instances = %d for a single file, want 1", sel.Instances())
+	}
+}

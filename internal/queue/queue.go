@@ -102,6 +102,10 @@ type Service struct {
 	queues map[string]*queueState
 	// apiRequests counts every service call for the pricing model.
 	apiRequests int64
+	// apiByQueue attributes queue-addressed calls to their queue, so a
+	// multi-tenant deployment (several jobs sharing one service) can
+	// bill each tenant its own traffic. Counts survive queue deletion.
+	apiByQueue map[string]int64
 }
 
 type message struct {
@@ -131,9 +135,10 @@ var (
 func NewService(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		queues: make(map[string]*queueState),
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		queues:     make(map[string]*queueState),
+		apiByQueue: make(map[string]int64),
 	}
 }
 
@@ -144,11 +149,25 @@ func (s *Service) APIRequests() int64 {
 	return s.apiRequests
 }
 
+// APIRequestsFor returns the billed API calls addressed to one queue
+// (service-wide calls like ListQueues are not attributed).
+func (s *Service) APIRequestsFor(queueName string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apiByQueue[queueName]
+}
+
+// count bills one API call addressed to queueName. Caller holds s.mu.
+func (s *Service) count(queueName string) {
+	s.apiRequests++
+	s.apiByQueue[queueName]++
+}
+
 // CreateQueue registers a new queue.
 func (s *Service) CreateQueue(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.apiRequests++
+	s.count(name)
 	if name == "" {
 		return ErrEmptyQueueName
 	}
@@ -163,7 +182,7 @@ func (s *Service) CreateQueue(name string) error {
 func (s *Service) DeleteQueue(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.apiRequests++
+	s.count(name)
 	if _, ok := s.queues[name]; !ok {
 		return ErrNoSuchQueue
 	}
@@ -188,7 +207,7 @@ func (s *Service) ListQueues() []string {
 func (s *Service) SendMessage(queueName string, body []byte) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.apiRequests++
+	s.count(queueName)
 	q, ok := s.queues[queueName]
 	if !ok {
 		return "", ErrNoSuchQueue
@@ -210,7 +229,7 @@ func (s *Service) SendMessage(queueName string, body []byte) (string, error) {
 func (s *Service) ReceiveMessage(queueName string, visibility time.Duration) (Message, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.apiRequests++
+	s.count(queueName)
 	q, ok := s.queues[queueName]
 	if !ok {
 		return Message{}, false, ErrNoSuchQueue
@@ -257,7 +276,7 @@ func (s *Service) ReceiveMessage(queueName string, visibility time.Duration) (Me
 func (s *Service) DeleteMessage(queueName, receiptHandle string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.apiRequests++
+	s.count(queueName)
 	q, ok := s.queues[queueName]
 	if !ok {
 		return ErrNoSuchQueue
@@ -280,7 +299,7 @@ func (s *Service) DeleteMessage(queueName, receiptHandle string) error {
 func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.apiRequests++
+	s.count(queueName)
 	q, ok := s.queues[queueName]
 	if !ok {
 		return ErrNoSuchQueue
@@ -300,7 +319,7 @@ func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Durat
 func (s *Service) ApproximateCount(queueName string) (visible, inflight int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.apiRequests++
+	s.count(queueName)
 	q, ok := s.queues[queueName]
 	if !ok {
 		return 0, 0, ErrNoSuchQueue
@@ -323,7 +342,7 @@ func (s *Service) ApproximateCount(queueName string) (visible, inflight int, err
 func (s *Service) Purge(queueName string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.apiRequests++
+	s.count(queueName)
 	q, ok := s.queues[queueName]
 	if !ok {
 		return ErrNoSuchQueue

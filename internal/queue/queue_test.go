@@ -339,3 +339,32 @@ func TestDeleteMessageTwice(t *testing.T) {
 		t.Errorf("second delete: %v", err)
 	}
 }
+
+func TestAPIRequestsAttributedPerQueue(t *testing.T) {
+	s := NewService(Config{})
+	if err := s.CreateQueue("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateQueue("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SendMessage("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReceiveMessage("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ApproximateCount("b"); err != nil {
+		t.Fatal(err)
+	}
+	// a: create + send + receive; b: create + count.
+	if got := s.APIRequestsFor("a"); got != 3 {
+		t.Errorf("APIRequestsFor(a) = %d, want 3", got)
+	}
+	if got := s.APIRequestsFor("b"); got != 2 {
+		t.Errorf("APIRequestsFor(b) = %d, want 2", got)
+	}
+	if got := s.APIRequests(); got != 5 {
+		t.Errorf("APIRequests = %d, want 5", got)
+	}
+}
