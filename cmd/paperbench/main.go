@@ -11,11 +11,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/blob"
@@ -92,6 +94,7 @@ func experiments() []experiment {
 		{"inhomogeneous", "Dynamic vs static scheduling on skewed data (Section 4.2)", inhomogeneous},
 		{"brokerplan", "Broker cost-aware instance selection (cheapest type meeting a deadline)", brokerPlan},
 		{"broker", "Elastic broker live run: autoscaling and cost vs fixed fleet", brokerLive},
+		{"queuebench", "Queue core throughput baseline (writes BENCH_queue.json)", queueBench},
 	}
 }
 
@@ -267,6 +270,163 @@ func brokerPlan() {
 			best.Instances(), best.Outcome.Makespan.Round(time.Second),
 			best.Outcome.Bill.ComputeCost, best.MeetsTarget)
 	}
+}
+
+// queueBenchReport is the BENCH_queue.json schema: the queue core's
+// throughput baseline, recorded so later changes can be compared against
+// this commit's numbers.
+type queueBenchReport struct {
+	// ContentionOpsPerSec is the aggregate send→receive→delete cycle
+	// rate of 8 queues × 8 workers sharing one service.
+	ContentionOpsPerSec float64 `json:"contention_ops_per_sec"`
+	// DeadBacklogReceiveNs is the mean ReceiveMessage latency on a queue
+	// whose history holds 100k deleted messages and 100 live ones —
+	// flat, now that deletions compact.
+	DeadBacklogReceiveNs float64 `json:"dead_backlog_receive_ns"`
+	// Single/BatchRequestsPerTask compare the billed API requests per
+	// task for per-message versus batched send/receive/delete.
+	SingleRequestsPerTask float64 `json:"single_requests_per_task"`
+	BatchRequestsPerTask  float64 `json:"batch_requests_per_task"`
+	// LongPollWakeupNs is the send→delivery latency through a blocked
+	// long-poll receiver.
+	LongPollWakeupNs float64 `json:"long_poll_wakeup_ns"`
+}
+
+// queueBench measures the rewritten queue core — per-queue locking,
+// indexed receipts, batch billing, long polling — and writes the
+// numbers to BENCH_queue.json as the baseline for future changes.
+func queueBench() {
+	rep := queueBenchReport{}
+
+	// Contention: 8 queues × 8 workers, the multi-tenant broker shape.
+	{
+		svc := queue.NewService(queue.Config{Seed: 1})
+		const queues, workers, cycles = 8, 8, 2000
+		for qi := 0; qi < queues; qi++ {
+			svc.CreateQueue(fmt.Sprintf("q%d", qi))
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for qi := 0; qi < queues; qi++ {
+			qn := fmt.Sprintf("q%d", qi)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < cycles; i++ {
+						svc.SendMessage(qn, []byte("task"))
+						m, ok, _ := svc.ReceiveMessage(qn, time.Hour)
+						if ok {
+							svc.DeleteMessage(qn, m.ReceiptHandle)
+						}
+					}
+				}()
+			}
+		}
+		wg.Wait()
+		rep.ContentionOpsPerSec = float64(queues*workers*cycles) / time.Since(start).Seconds()
+	}
+
+	// Dead backlog: 100k deleted + 100 live, steady-state receives.
+	{
+		svc := queue.NewService(queue.Config{Seed: 2})
+		svc.CreateQueue("q")
+		for i := 0; i < 100_000; i++ {
+			svc.SendMessage("q", []byte("dead"))
+			m, _, _ := svc.ReceiveMessage("q", time.Hour)
+			svc.DeleteMessage("q", m.ReceiptHandle)
+		}
+		for i := 0; i < 100; i++ {
+			svc.SendMessage("q", []byte("live"))
+		}
+		const n = 50_000
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			m, ok, _ := svc.ReceiveMessage("q", time.Hour)
+			if ok {
+				svc.ChangeVisibility("q", m.ReceiptHandle, 0)
+			}
+		}
+		rep.DeadBacklogReceiveNs = float64(time.Since(start).Nanoseconds()) / n
+	}
+
+	// Batch billing: requests per task, single versus batched APIs.
+	{
+		svc := queue.NewService(queue.Config{Seed: 3})
+		svc.CreateQueue("single")
+		base := svc.APIRequestsFor("single")
+		const tasks = 1000
+		for i := 0; i < tasks; i++ {
+			svc.SendMessage("single", []byte("t"))
+			m, _, _ := svc.ReceiveMessage("single", time.Hour)
+			svc.DeleteMessage("single", m.ReceiptHandle)
+		}
+		rep.SingleRequestsPerTask = float64(svc.APIRequestsFor("single")-base) / tasks
+
+		svc.CreateQueue("batch")
+		base = svc.APIRequestsFor("batch")
+		bodies := make([][]byte, queue.MaxBatch)
+		for i := range bodies {
+			bodies[i] = []byte("t")
+		}
+		for done := 0; done < tasks; done += queue.MaxBatch {
+			svc.SendMessageBatch("batch", bodies)
+			msgs, _ := svc.ReceiveMessageBatch("batch", time.Hour, queue.MaxBatch, 0)
+			receipts := make([]string, len(msgs))
+			for i, m := range msgs {
+				receipts[i] = m.ReceiptHandle
+			}
+			svc.DeleteMessageBatch("batch", receipts)
+		}
+		rep.BatchRequestsPerTask = float64(svc.APIRequestsFor("batch")-base) / tasks
+	}
+
+	// Long-poll wakeup latency: blocked receiver, then a send.
+	{
+		svc := queue.NewService(queue.Config{Seed: 4})
+		svc.CreateQueue("q")
+		const rounds = 200
+		var total time.Duration
+		for i := 0; i < rounds; i++ {
+			ready := make(chan struct{})
+			got := make(chan time.Time, 1)
+			go func() {
+				close(ready)
+				_, ok, _ := svc.ReceiveMessageWait("q", time.Hour, 5*time.Second)
+				if ok {
+					got <- time.Now()
+				}
+			}()
+			<-ready
+			time.Sleep(200 * time.Microsecond) // let the receiver block
+			sent := time.Now()
+			svc.SendMessage("q", []byte("wake"))
+			woke := <-got
+			total += woke.Sub(sent)
+			m, ok, _ := svc.ReceiveMessage("q", time.Hour)
+			if ok {
+				svc.DeleteMessage("q", m.ReceiptHandle)
+			}
+		}
+		rep.LongPollWakeupNs = float64(total.Nanoseconds()) / rounds
+	}
+
+	fmt.Printf("contention (8 queues × 8 workers):  %12.0f cycles/s\n", rep.ContentionOpsPerSec)
+	fmt.Printf("receive w/ 100k dead, 100 live:     %12.0f ns/op\n", rep.DeadBacklogReceiveNs)
+	fmt.Printf("billed requests per task, single:   %12.2f\n", rep.SingleRequestsPerTask)
+	fmt.Printf("billed requests per task, batched:  %12.2f\n", rep.BatchRequestsPerTask)
+	fmt.Printf("long-poll wakeup latency:           %12.0f ns\n", rep.LongPollWakeupNs)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	if err := os.WriteFile("BENCH_queue.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	fmt.Println("baseline written to BENCH_queue.json")
 }
 
 // brokerLive runs a real (in-process) elastic job: 64 Cap3 files

@@ -165,11 +165,15 @@ type Job struct {
 	crashBudget atomic.Int64
 
 	stop chan struct{}
+	// finished is closed exactly once, when the job reaches a terminal
+	// state (completed or aborted), so Wait blocks on a channel instead
+	// of polling in a sleep loop.
+	finished chan struct{}
 
 	mu            sync.Mutex
 	state         JobState
 	started       time.Time
-	finished      time.Time
+	finishedAt    time.Time
 	done          map[string]bool
 	dead          map[string]bool
 	dups          int
@@ -231,16 +235,17 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 	policy = policy.withDefaults()
 
 	j := &Job{
-		ID:     id,
-		App:    req.App,
-		broker: b,
-		exec:   exec,
-		policy: policy,
-		itype:  b.cfg.DefaultInstance,
-		stop:   make(chan struct{}),
-		state:  StateRunning,
-		done:   make(map[string]bool),
-		dead:   make(map[string]bool),
+		ID:       id,
+		App:      req.App,
+		broker:   b,
+		exec:     exec,
+		policy:   policy,
+		itype:    b.cfg.DefaultInstance,
+		stop:     make(chan struct{}),
+		finished: make(chan struct{}),
+		state:    StateRunning,
+		done:     make(map[string]bool),
+		dead:     make(map[string]bool),
 	}
 	j.crashBudget.Store(int64(req.InjectCrashes))
 
@@ -396,26 +401,45 @@ func (j *Job) run() {
 	}
 }
 
-// drainMonitor consumes every waiting completion report.
+// drainMonitor consumes every waiting completion report, a batch at a
+// time: one receive plus one delete request per ten reports instead of
+// one of each per report.
 func (j *Job) drainMonitor() {
-	env := j.broker.cfg.Env
+	svc := j.broker.cfg.Env.Queue
+	qn := j.ccCfg.MonitorQueue()
 	for {
-		st, id, ok := receiveMonitor(env.Queue, j.ccCfg.MonitorQueue())
-		if !ok {
+		msgs, err := svc.ReceiveMessageBatch(qn, time.Minute, queue.MaxBatch, 0)
+		if err != nil || len(msgs) == 0 {
 			return
 		}
-		if id == "" {
-			continue // consumed but uncountable (redelivery or corrupt)
+		receipts := make([]string, len(msgs))
+		for i, m := range msgs {
+			receipts[i] = m.ReceiptHandle
+		}
+		results, err := svc.DeleteMessageBatch(qn, receipts)
+		if err != nil {
+			return
 		}
 		j.mu.Lock()
-		switch st {
-		case classiccloud.StatusDead:
-			j.dead[id] = true
-		default:
-			if j.done[id] {
-				j.dups++
+		for i, m := range msgs {
+			if results[i] != nil {
+				// Redelivered report: it was or will be counted under its
+				// authoritative receipt.
+				continue
 			}
-			j.done[id] = true
+			st, id, perr := classiccloud.ParseMonitorMessage(m.Body)
+			if perr != nil || id == "" {
+				continue
+			}
+			switch st {
+			case classiccloud.StatusDead:
+				j.dead[id] = true
+			default:
+				if j.done[id] {
+					j.dups++
+				}
+				j.done[id] = true
+			}
 		}
 		j.mu.Unlock()
 	}
@@ -447,9 +471,10 @@ func (j *Job) maybeComplete() bool {
 		j.mu.Unlock()
 		return false
 	}
-	j.finished = time.Now()
+	j.finishedAt = time.Now()
 	j.state = StateCompleted
 	j.scaleTo(0, "job complete")
+	close(j.finished)
 	j.mu.Unlock()
 	j.stopWG.Wait()
 	return true
@@ -600,8 +625,9 @@ func (j *Job) shutdown() {
 		// Not a completion: tasks may still be unsettled, and callers
 		// waiting on the job must see the abort, not a success.
 		j.state = StateAborted
-		j.finished = time.Now()
+		j.finishedAt = time.Now()
 		j.scaleTo(0, "broker shutdown")
+		close(j.finished)
 	}
 	j.mu.Unlock()
 	j.stopWG.Wait()
@@ -609,24 +635,32 @@ func (j *Job) shutdown() {
 
 // Wait blocks until the job completes or the timeout expires. An
 // aborted job (broker shut down mid-run) returns an error: its
-// outputs are partial.
+// outputs are partial. Completion is signalled on a channel, so Wait
+// wakes the instant the job settles instead of polling on a fraction
+// of the autoscaler tick.
 func (j *Job) Wait(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		j.mu.Lock()
-		state, settled, total := j.state, j.settledLocked(), len(j.tasks)
-		j.mu.Unlock()
-		switch state {
-		case StateCompleted:
-			return nil
-		case StateAborted:
-			return fmt.Errorf("broker: job %s aborted with %d/%d tasks settled", j.ID, settled, total)
-		}
-		if time.Now().After(deadline) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-j.finished:
+	case <-timer.C:
+		// Both channels may be ready; a finished job is never a timeout.
+		select {
+		case <-j.finished:
+		default:
+			j.mu.Lock()
+			settled, total := j.settledLocked(), len(j.tasks)
+			j.mu.Unlock()
 			return fmt.Errorf("broker: job %s timeout with %d/%d tasks settled", j.ID, settled, total)
 		}
-		time.Sleep(j.broker.cfg.TickInterval / 2)
 	}
+	j.mu.Lock()
+	state, settled, total := j.state, j.settledLocked(), len(j.tasks)
+	j.mu.Unlock()
+	if state == StateAborted {
+		return fmt.Errorf("broker: job %s aborted with %d/%d tasks settled", j.ID, settled, total)
+	}
+	return nil
 }
 
 // Status is a point-in-time job summary.
@@ -653,8 +687,8 @@ func (j *Job) Status() Status {
 	defer j.mu.Unlock()
 	deadOnly := j.deadOnlyLocked()
 	elapsed := time.Since(j.started)
-	if !j.finished.IsZero() {
-		elapsed = j.finished.Sub(j.started)
+	if !j.finishedAt.IsZero() {
+		elapsed = j.finishedAt.Sub(j.started)
 	}
 	s := Status{
 		ID:           j.ID,
@@ -721,7 +755,7 @@ func (j *Job) CostReport() CostReport {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	now := time.Now()
-	end := j.finished
+	end := j.finishedAt
 	if end.IsZero() {
 		end = now
 	}
@@ -786,23 +820,4 @@ func (j *Job) CollectOutputs() (map[string][]byte, error) {
 	}
 	j.mu.Unlock()
 	return j.cc.CollectOutputs(completed)
-}
-
-// receiveMonitor pops one completion report; ok is false when the
-// monitor queue is empty.
-func receiveMonitor(svc *queue.Service, queueName string) (status, taskID string, ok bool) {
-	m, ok, err := svc.ReceiveMessage(queueName, time.Minute)
-	if err != nil || !ok {
-		return "", "", false
-	}
-	st, id, perr := classiccloud.ParseMonitorMessage(m.Body)
-	if derr := svc.DeleteMessage(queueName, m.ReceiptHandle); derr != nil {
-		// Redelivered report: it was or will be counted under its
-		// authoritative receipt.
-		return "", "", true
-	}
-	if perr != nil {
-		return "", "", true
-	}
-	return st, id, true
 }

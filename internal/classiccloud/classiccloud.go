@@ -61,9 +61,20 @@ type Preloader interface {
 type Config struct {
 	JobName           string        // names queues and buckets
 	VisibilityTimeout time.Duration // task lease length (default 1m)
-	PollInterval      time.Duration // worker idle poll spacing (default 2ms)
+	PollInterval      time.Duration // error-backoff spacing (default 2ms)
 	DownloadRetries   int           // GET retries for eventual consistency (default 8)
 	RetryBackoff      time.Duration // spacing between download retries (default 2ms)
+	// LongPollWait is how long an idle worker blocks inside the queue's
+	// long-poll receive before re-checking its stop signal. It replaces
+	// the old PollInterval sleep loop: idle workers park on the queue's
+	// wait list and wake the moment a task arrives. Default 50ms;
+	// negative forces non-blocking receives.
+	LongPollWait time.Duration
+	// ReceiveBatch is how many tasks a worker pulls per receive call
+	// (1..queue.MaxBatch, default 4). Task acknowledgements and monitor
+	// reports are batched the same way, so the queue bill amortizes to
+	// roughly 3 requests per ReceiveBatch tasks instead of 3 per task.
+	ReceiveBatch int
 	// CrashBeforeDelete is a fault-injection hook: when it returns true
 	// the worker "dies" after executing but before deleting the task, so
 	// the visibility timeout must recover the work.
@@ -103,6 +114,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatInterval == 0 {
 		c.HeartbeatInterval = c.VisibilityTimeout / 3
+	}
+	if c.LongPollWait == 0 {
+		c.LongPollWait = 50 * time.Millisecond
+	}
+	if c.ReceiveBatch <= 0 {
+		c.ReceiveBatch = 4
+	}
+	if c.ReceiveBatch > queue.MaxBatch {
+		c.ReceiveBatch = queue.MaxBatch
 	}
 	return c
 }
@@ -258,29 +278,45 @@ func (c *Client) WaitForCompletion(tasks []Task, timeout time.Duration) (Report,
 				fmt.Errorf("classiccloud: timeout after %v with %d/%d tasks complete",
 					timeout, settled(), len(tasks))
 		}
-		m, ok, err := c.env.Queue.ReceiveMessage(c.cfg.monitorQueue(), time.Minute)
+		// Long-poll a batch of completion reports and acknowledge them
+		// with one delete call, instead of one receive + one delete per
+		// report plus an idle sleep loop.
+		msgs, err := c.env.Queue.ReceiveMessageBatch(
+			c.cfg.monitorQueue(), time.Minute, queue.MaxBatch, c.cfg.LongPollWait)
 		if err != nil {
 			return Report{}, err
 		}
-		if !ok {
-			time.Sleep(c.cfg.PollInterval)
-			continue
+		if len(msgs) == 0 {
+			continue // the long poll already waited
 		}
-		var mm monitorMsg
-		if err := json.Unmarshal(m.Body, &mm); err != nil {
-			return Report{}, fmt.Errorf("classiccloud: bad monitor message: %w", err)
+		receipts := make([]string, len(msgs))
+		for i, m := range msgs {
+			receipts[i] = m.ReceiptHandle
 		}
-		if err := c.env.Queue.DeleteMessage(c.cfg.monitorQueue(), m.ReceiptHandle); err != nil {
-			continue // redelivered monitor message; count once via the map
+		results, err := c.env.Queue.DeleteMessageBatch(c.cfg.monitorQueue(), receipts)
+		if err != nil {
+			return Report{}, err
 		}
-		if mm.Status == StatusDead {
-			dead[mm.TaskID] = true
-			continue
+		for i, m := range msgs {
+			if results[i] != nil {
+				continue // redelivered monitor message; count once via the map
+			}
+			var mm monitorMsg
+			if err := json.Unmarshal(m.Body, &mm); err != nil {
+				// Corrupt report: skip it rather than abort — the batch is
+				// already deleted, and aborting here would discard the
+				// valid completions travelling alongside it.
+				continue
+			}
+			if mm.Status == StatusDead {
+				dead[mm.TaskID] = true
+				continue
+			}
+			if done[mm.TaskID] {
+				dups++
+			}
+			done[mm.TaskID] = true
 		}
-		if done[mm.TaskID] {
-			dups++
-		}
-		done[mm.TaskID] = true
 	}
 	// Verify all completed outputs are present (consistent read: the
 	// client retries until visible in a real deployment). Dead-lettered
@@ -417,8 +453,13 @@ func (inst *Instance) workerLoop(workerID int) {
 			return
 		default:
 		}
-		m, ok, err := inst.env.Queue.ReceiveMessage(inst.cfg.taskQueue(), inst.cfg.VisibilityTimeout)
-		if err != nil || !ok {
+		// Long poll: an idle worker parks on the queue's wait list and
+		// wakes when a task arrives or a lease expires, instead of
+		// burning a receive request every PollInterval.
+		msgs, err := inst.env.Queue.ReceiveMessageBatch(
+			inst.cfg.taskQueue(), inst.cfg.VisibilityTimeout,
+			inst.cfg.ReceiveBatch, inst.cfg.LongPollWait)
+		if err != nil {
 			select {
 			case <-inst.stop:
 				return
@@ -426,10 +467,36 @@ func (inst *Instance) workerLoop(workerID int) {
 			}
 			continue
 		}
+		if len(msgs) == 0 {
+			continue // the long poll already waited; just re-check stop
+		}
+		inst.processBatch(workerID, msgs)
+	}
+}
+
+// processBatch runs every task of one receive batch, then acknowledges
+// the completed ones with a single batch delete and reports them with a
+// single batch send — 3 queue requests per batch on the happy path.
+func (inst *Instance) processBatch(workerID int, msgs []queue.Message) {
+	// One lease renewer covers the whole batch: tasks queued behind a
+	// slow one must keep their leases alive too.
+	var renew *leaseRenewer
+	if inst.cfg.HeartbeatInterval > 0 {
+		receipts := make([]string, len(msgs))
+		for i, m := range msgs {
+			receipts[i] = m.ReceiptHandle
+		}
+		renew = inst.startLeaseRenewer(receipts)
+		defer renew.stop()
+	}
+	var ackReceipts []string
+	var reports [][]byte
+	for _, m := range msgs {
 		var task Task
 		if err := json.Unmarshal(m.Body, &task); err != nil {
 			// Undecodable message: park it so it cannot wedge the queue.
 			inst.deadLetter(workerID, "", m)
+			renew.remove(m.ReceiptHandle)
 			continue
 		}
 		if inst.cfg.MaxReceives > 0 && m.Receives > inst.cfg.MaxReceives {
@@ -437,9 +504,39 @@ func (inst *Instance) workerLoop(workerID int) {
 			// (executor failures, repeated crashes) — take it out of
 			// rotation instead of retrying forever.
 			inst.deadLetter(workerID, task.ID, m)
+			renew.remove(m.ReceiptHandle)
 			continue
 		}
-		inst.processTask(workerID, task, m.ReceiptHandle)
+		if inst.processTask(workerID, task) {
+			ackReceipts = append(ackReceipts, m.ReceiptHandle)
+			mm, _ := json.Marshal(monitorMsg{TaskID: task.ID, WorkerID: workerID, Status: StatusDone})
+			reports = append(reports, mm)
+		} else {
+			// The task was not acknowledged (failure, crash injection, or
+			// preemption): stop renewing its lease so the visibility
+			// timeout re-exposes it on schedule, not after the rest of
+			// this batch finishes.
+			renew.remove(m.ReceiptHandle)
+		}
+	}
+	for start := 0; start < len(ackReceipts); start += queue.MaxBatch {
+		end := min(start+queue.MaxBatch, len(ackReceipts))
+		results, err := inst.env.Queue.DeleteMessageBatch(inst.cfg.taskQueue(), ackReceipts[start:end])
+		if err != nil {
+			continue
+		}
+		for _, r := range results {
+			if r != nil {
+				// Our lease expired and the task was re-issued; the result
+				// is already uploaded and tasks are idempotent, so this is
+				// harmless.
+				inst.stats.StaleDeletes.Add(1)
+			}
+		}
+	}
+	for start := 0; start < len(reports); start += queue.MaxBatch {
+		end := min(start+queue.MaxBatch, len(reports))
+		_, _ = inst.env.Queue.SendMessageBatch(inst.cfg.monitorQueue(), reports[start:end])
 	}
 }
 
@@ -466,74 +563,103 @@ func (inst *Instance) deadLetter(workerID int, taskID string, m queue.Message) {
 }
 
 // processTask is the worker pipeline of Figure 1: download → execute →
-// upload → delete → report.
-func (inst *Instance) processTask(workerID int, task Task, receipt string) {
+// upload. It reports whether the task succeeded and should be
+// acknowledged (batch-deleted) and reported done by the caller.
+func (inst *Instance) processTask(workerID int, task Task) bool {
 	start := time.Now()
 	defer func() { inst.stats.BusyNanos.Add(int64(time.Since(start))) }()
-	if inst.cfg.HeartbeatInterval > 0 {
-		stopRenew := make(chan struct{})
-		defer close(stopRenew)
-		go inst.renewLease(receipt, stopRenew)
-	}
 	input, err := inst.downloadWithRetry(task.InputBucket, task.InputKey)
 	if err != nil {
 		// Leave the message undeleted; it will reappear and be retried.
 		inst.stats.ExecErrors.Add(1)
-		return
+		return false
 	}
 	output, err := inst.exec.Execute(task, input)
 	if err != nil {
 		inst.stats.ExecErrors.Add(1)
-		return // visibility timeout will re-expose the task
+		return false // visibility timeout will re-expose the task
 	}
 	if inst.killed.Load() {
 		// The instance was preempted mid-task: abandon without
 		// acknowledging so the visibility timeout re-exposes the work.
 		inst.stats.TasksAbandoned.Add(1)
-		return
+		return false
 	}
 	if inst.cfg.CrashBeforeDelete != nil && inst.cfg.CrashBeforeDelete(workerID, task) {
 		// Simulated worker death after doing the work but before the
 		// acknowledgement: the canonical at-least-once failure.
 		inst.stats.TasksAbandoned.Add(1)
-		return
+		return false
 	}
 	if err := inst.env.Blob.Put(task.OutputBucket, task.OutputKey, output); err != nil {
 		inst.stats.ExecErrors.Add(1)
-		return
+		return false
 	}
 	inst.stats.TasksExecuted.Add(1)
-	if err := inst.env.Queue.DeleteMessage(inst.cfg.taskQueue(), receipt); err != nil {
-		// Our lease expired and the task was re-issued; the result is
-		// already uploaded and tasks are idempotent, so this is harmless.
-		inst.stats.StaleDeletes.Add(1)
-	}
-	mm, _ := json.Marshal(monitorMsg{TaskID: task.ID, WorkerID: workerID, Status: "done"})
-	_, _ = inst.env.Queue.SendMessage(inst.cfg.monitorQueue(), mm)
+	return true
 }
 
-// renewLease extends the task's visibility timeout every heartbeat so
-// a long-running task keeps its lease. Renewal stops when processing
-// ends, when the instance is killed (preempted work must reappear
-// promptly), or when the receipt goes stale (the lease was lost and
-// another worker owns the task).
-func (inst *Instance) renewLease(receipt string, done <-chan struct{}) {
-	ticker := time.NewTicker(inst.cfg.HeartbeatInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-done:
-			return
-		case <-ticker.C:
-			if inst.killed.Load() {
+// leaseRenewer extends the visibility timeout of a batch's receipts
+// every heartbeat so long-running tasks — and tasks queued behind them
+// in the same batch — keep their leases. A receipt drops out of renewal
+// when it goes stale (deleted, or the lease was lost to another
+// worker); renewal stops entirely when the batch finishes or the
+// instance is killed (preempted work must reappear promptly).
+type leaseRenewer struct {
+	mu       sync.Mutex
+	receipts map[string]bool
+	done     chan struct{}
+}
+
+func (r *leaseRenewer) stop() { close(r.done) }
+
+// remove drops one receipt from renewal — called when its task settles
+// without an acknowledgement (failure, crash, preemption), so the lease
+// expires on schedule and redelivery is not delayed by the rest of the
+// batch still processing.
+func (r *leaseRenewer) remove(receipt string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.receipts, receipt)
+	r.mu.Unlock()
+}
+
+func (inst *Instance) startLeaseRenewer(receipts []string) *leaseRenewer {
+	r := &leaseRenewer{receipts: make(map[string]bool, len(receipts)), done: make(chan struct{})}
+	for _, receipt := range receipts {
+		r.receipts[receipt] = true
+	}
+	go func() {
+		ticker := time.NewTicker(inst.cfg.HeartbeatInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.done:
 				return
-			}
-			if err := inst.env.Queue.ChangeVisibility(
-				inst.cfg.taskQueue(), receipt, inst.cfg.VisibilityTimeout); err != nil {
-				return
+			case <-ticker.C:
+				if inst.killed.Load() {
+					return
+				}
+				r.mu.Lock()
+				live := make([]string, 0, len(r.receipts))
+				for receipt := range r.receipts {
+					live = append(live, receipt)
+				}
+				r.mu.Unlock()
+				for _, receipt := range live {
+					if err := inst.env.Queue.ChangeVisibility(
+						inst.cfg.taskQueue(), receipt, inst.cfg.VisibilityTimeout); err != nil {
+						r.mu.Lock()
+						delete(r.receipts, receipt)
+						r.mu.Unlock()
+					}
+				}
 			}
 		}
-	}
+	}()
+	return r
 }
 
 // downloadWithRetry tolerates eventual-consistency NotFound responses by

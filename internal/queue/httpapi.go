@@ -1,12 +1,14 @@
 package queue
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -20,6 +22,10 @@ import (
 //	GET    /q/{name}/count                   approximate counts (JSON)
 //	POST   /q/{name}/messages                send (body = message)
 //	GET    /q/{name}/messages?visibility=30s receive (JSON; 204 when empty)
+//	       &wait=1s                          … long poll up to wait
+//	       &max=10                           … batch receive ({"messages": [...]})
+//	POST   /q/{name}/messages/batch          batch send ({"bodies": [...]} → {"ids": [...]})
+//	POST   /q/{name}/messages/batchdelete    batch delete ({"receipts": [...]} → {"errors": [...]})
 //	DELETE /q/{name}/messages/{receipt}      delete by receipt handle
 //	POST   /q/{name}/messages/{receipt}/visibility?d=1m  change visibility
 type HTTPHandler struct {
@@ -50,6 +56,10 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveCount(w, r, name)
 	case parts[1] == "messages" && len(parts) == 2:
 		h.serveMessages(w, r, name)
+	case parts[1] == "messages" && len(parts) == 3 && parts[2] == "batch":
+		h.serveSendBatch(w, r, name)
+	case parts[1] == "messages" && len(parts) == 3 && parts[2] == "batchdelete":
+		h.serveDeleteBatch(w, r, name)
 	case parts[1] == "messages" && len(parts) == 3:
 		h.serveReceipt(w, r, name, parts[2])
 	case parts[1] == "messages" && len(parts) == 4 && parts[3] == "visibility":
@@ -112,7 +122,7 @@ func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name
 		w.WriteHeader(http.StatusCreated)
 		writeJSON(w, map[string]string{"id": id})
 	case http.MethodGet:
-		var visibility time.Duration
+		var visibility, wait time.Duration
 		if v := r.URL.Query().Get("visibility"); v != "" {
 			d, err := time.ParseDuration(v)
 			if err != nil {
@@ -121,7 +131,37 @@ func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name
 			}
 			visibility = d
 		}
-		m, ok, err := h.Service.ReceiveMessage(name, visibility)
+		if v := r.URL.Query().Get("wait"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "queue: bad wait: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			wait = d
+		}
+		if v := r.URL.Query().Get("max"); v != "" {
+			max, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "queue: bad max: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			msgs, err := h.Service.ReceiveMessageBatch(name, visibility, max, wait)
+			if err != nil {
+				writeQueueError(w, err)
+				return
+			}
+			if len(msgs) == 0 {
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			out := make([]wireMessage, len(msgs))
+			for i, m := range msgs {
+				out[i] = wireMessage{ID: m.ID, Body: m.Body, Receipt: m.ReceiptHandle, Receives: m.Receives}
+			}
+			writeJSON(w, map[string][]wireMessage{"messages": out})
+			return
+		}
+		m, ok, err := h.Service.ReceiveMessageWait(name, visibility, wait)
 		if err != nil {
 			writeQueueError(w, err)
 			return
@@ -134,6 +174,57 @@ func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// serveSendBatch enqueues up to MaxBatch bodies as one billed request.
+func (h *HTTPHandler) serveSendBatch(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var in struct {
+		Bodies [][]byte `json:"bodies"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		http.Error(w, "queue: bad batch body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ids, err := h.Service.SendMessageBatch(name, in.Bodies)
+	if err != nil {
+		writeQueueError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string][]string{"ids": ids})
+}
+
+// serveDeleteBatch acknowledges up to MaxBatch receipts as one billed
+// request. The response carries one error string per entry ("" = ok) so
+// partial failures are visible without failing the call.
+func (h *HTTPHandler) serveDeleteBatch(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var in struct {
+		Receipts []string `json:"receipts"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		http.Error(w, "queue: bad batch body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	results, err := h.Service.DeleteMessageBatch(name, in.Receipts)
+	if err != nil {
+		writeQueueError(w, err)
+		return
+	}
+	out := make([]string, len(results))
+	for i, e := range results {
+		if e != nil {
+			out[i] = e.Error()
+		}
+	}
+	writeJSON(w, map[string][]string{"errors": out})
 }
 
 func (h *HTTPHandler) serveReceipt(w http.ResponseWriter, r *http.Request, name, receipt string) {
@@ -231,9 +322,21 @@ func (c *HTTPClient) Send(name string, body []byte) (string, error) {
 
 // Receive pops a message; ok is false when the queue has nothing visible.
 func (c *HTTPClient) Receive(name string, visibility time.Duration) (Message, bool, error) {
-	url := c.BaseURL + "/q/" + name + "/messages"
+	return c.ReceiveWait(name, visibility, 0)
+}
+
+// ReceiveWait long-polls for up to wait before returning empty.
+func (c *HTTPClient) ReceiveWait(name string, visibility, wait time.Duration) (Message, bool, error) {
+	q := url.Values{}
 	if visibility > 0 {
-		url += "?visibility=" + visibility.String()
+		q.Set("visibility", visibility.String())
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	url := c.BaseURL + "/q/" + name + "/messages"
+	if enc := q.Encode(); enc != "" {
+		url += "?" + enc
 	}
 	resp, err := c.httpClient().Get(url)
 	if err != nil {
@@ -252,6 +355,101 @@ func (c *HTTPClient) Receive(name string, visibility time.Duration) (Message, bo
 	default:
 		return Message{}, false, fmt.Errorf("queue: receive from %s: %s", name, resp.Status)
 	}
+}
+
+// ReceiveBatch receives up to max messages in one request, long-polling
+// up to wait. An empty slice means nothing became visible in time.
+func (c *HTTPClient) ReceiveBatch(name string, visibility time.Duration, max int, wait time.Duration) ([]Message, error) {
+	q := url.Values{}
+	q.Set("max", strconv.Itoa(max))
+	if visibility > 0 {
+		q.Set("visibility", visibility.String())
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	resp, err := c.httpClient().Get(c.BaseURL + "/q/" + name + "/messages?" + q.Encode())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusOK:
+		var out struct {
+			Messages []wireMessage `json:"messages"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, err
+		}
+		msgs := make([]Message, len(out.Messages))
+		for i, wm := range out.Messages {
+			msgs[i] = Message{ID: wm.ID, Body: wm.Body, ReceiptHandle: wm.Receipt, Receives: wm.Receives}
+		}
+		return msgs, nil
+	default:
+		return nil, fmt.Errorf("queue: batch receive from %s: %s", name, resp.Status)
+	}
+}
+
+// SendBatch enqueues up to MaxBatch bodies as one billed request.
+func (c *HTTPClient) SendBatch(name string, bodies [][]byte) ([]string, error) {
+	payload, err := json.Marshal(map[string][][]byte{"bodies": bodies})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/q/"+name+"/messages/batch",
+		"application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("queue: batch send to %s: %s", name, resp.Status)
+	}
+	var out struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.IDs, nil
+}
+
+// DeleteBatch acknowledges up to MaxBatch receipts as one billed
+// request, returning one error per entry (nil = deleted).
+func (c *HTTPClient) DeleteBatch(name string, receipts []string) ([]error, error) {
+	payload, err := json.Marshal(map[string][]string{"receipts": receipts})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/q/"+name+"/messages/batchdelete",
+		"application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("queue: batch delete in %s: %s", name, resp.Status)
+	}
+	var out struct {
+		Errors []string `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	results := make([]error, len(out.Errors))
+	for i, e := range out.Errors {
+		switch e {
+		case "":
+		case ErrInvalidReceipt.Error():
+			results[i] = ErrInvalidReceipt
+		default:
+			results[i] = errors.New(e)
+		}
+	}
+	return results, nil
 }
 
 // Delete acknowledges a message by receipt handle.

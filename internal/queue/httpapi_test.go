@@ -151,6 +151,83 @@ func TestHTTPErrorStatuses(t *testing.T) {
 	}
 }
 
+func TestHTTPBatchRoundTrip(t *testing.T) {
+	c, svc := newHTTPQueue(t, nil)
+	if err := c.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	base := svc.APIRequestsFor("q")
+	bodies := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	ids, err := c.SendBatch("q", bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	msgs, err := c.ReceiveBatch("q", time.Minute, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("received %d, want 3", len(msgs))
+	}
+	receipts := make([]string, 0, len(msgs))
+	seen := map[string]bool{}
+	for _, m := range msgs {
+		receipts = append(receipts, m.ReceiptHandle)
+		seen[string(m.Body)] = true
+	}
+	if !seen["a"] || !seen["b"] || !seen["c"] {
+		t.Errorf("bodies lost in transit: %v", seen)
+	}
+	results, err := c.DeleteBatch("q", append(receipts, "bogus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if results[i] != nil {
+			t.Errorf("delete %d: %v", i, results[i])
+		}
+	}
+	if results[3] != ErrInvalidReceipt {
+		t.Errorf("bogus receipt: %v, want ErrInvalidReceipt", results[3])
+	}
+	// Three batch calls = three billed requests, not seven.
+	if got := svc.APIRequestsFor("q") - base; got != 3 {
+		t.Errorf("batch round trip billed %d requests, want 3", got)
+	}
+	if msgs, err := c.ReceiveBatch("q", time.Minute, 10, 0); err != nil || len(msgs) != 0 {
+		t.Errorf("queue not empty after batch delete: %d msgs, err=%v", len(msgs), err)
+	}
+}
+
+func TestHTTPLongPollOverWire(t *testing.T) {
+	c, svc := newHTTPQueue(t, nil)
+	c.CreateQueue("q")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m, ok, err := c.ReceiveWait("q", time.Minute, 5*time.Second)
+		if err != nil || !ok {
+			t.Errorf("long poll over HTTP: ok=%v err=%v", ok, err)
+			return
+		}
+		if string(m.Body) != "late" {
+			t.Errorf("body = %q", m.Body)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := svc.SendMessage("q", []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("HTTP long poll never returned")
+	}
+}
+
 func TestHTTPWorkerLoopEndToEnd(t *testing.T) {
 	// A worker speaking only HTTP drains the queue — the paper's claim
 	// that any HTTP-capable client can participate (e.g. local machines

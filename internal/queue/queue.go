@@ -9,14 +9,45 @@
 // these semantics, exactly as Section 2.1.3 describes: a worker deletes a
 // task message only after completing it, so an un-deleted task reappears
 // and is re-executed by another worker.
+//
+// # Concurrency model
+//
+// The service mutex guards only the queue namespace (create / delete /
+// list). Every queue carries its own lock, so tenants sharing one service
+// contend only with traffic on their own queue — the multi-tenant broker
+// deployment stops serializing unrelated jobs through one mutex.
+//
+// # Indexed message store
+//
+// Each queue keeps three structures, all bounded by its live (undeleted)
+// messages: a delivery-ordered list of visible messages, a min-heap of
+// in-flight messages keyed by the time they become visible again, and a
+// receipt-handle index. DeleteMessage and ChangeVisibility are O(log n)
+// by receipt; ReceiveMessage touches at most ShuffleWindow list nodes;
+// ApproximateCount reads the structure sizes. Deleted messages are
+// removed from all three structures immediately (compaction), so memory
+// and per-operation cost track live messages, not messages ever sent.
+//
+// # Long polling and batches
+//
+// ReceiveMessageWait blocks until a message is visible or the wait time
+// elapses, waking on sends, visibility releases, in-flight expiries, and
+// FakeClock advances — replacing busy poll loops. The batch calls
+// (SendMessageBatch, ReceiveMessageBatch, DeleteMessageBatch) move up to
+// MaxBatch messages and are billed as one API request, the SQS batch
+// pricing the paper's cost tables assume one-request-per-message for.
 package queue
 
 import (
+	"container/heap"
+	"container/list"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,6 +55,15 @@ import (
 // sleeping.
 type Clock interface {
 	Now() time.Time
+}
+
+// AdvanceNotifier is optionally implemented by clocks whose time jumps
+// discretely (FakeClock). Long-polling receivers select on AdvanceCh so a
+// test advancing the clock wakes them immediately instead of waiting out
+// a real-time timer.
+type AdvanceNotifier interface {
+	// AdvanceCh returns a channel closed at the next clock advance.
+	AdvanceCh() <-chan struct{}
 }
 
 // RealClock reads the wall clock.
@@ -36,10 +76,13 @@ func (RealClock) Now() time.Time { return time.Now() }
 type FakeClock struct {
 	mu  sync.Mutex
 	now time.Time
+	adv chan struct{}
 }
 
 // NewFakeClock starts a fake clock at t.
-func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{now: t} }
+func NewFakeClock(t time.Time) *FakeClock {
+	return &FakeClock{now: t, adv: make(chan struct{})}
+}
 
 // Now implements Clock.
 func (c *FakeClock) Now() time.Time {
@@ -48,20 +91,36 @@ func (c *FakeClock) Now() time.Time {
 	return c.now
 }
 
-// Advance moves the clock forward by d.
+// Advance moves the clock forward by d and wakes long-poll waiters.
 func (c *FakeClock) Advance(d time.Duration) {
 	c.mu.Lock()
 	c.now = c.now.Add(d)
+	close(c.adv)
+	c.adv = make(chan struct{})
 	c.mu.Unlock()
 }
 
+// AdvanceCh implements AdvanceNotifier.
+func (c *FakeClock) AdvanceCh() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.adv
+}
+
 // Message is one queued item as seen by a receiver.
+//
+// Body aliases the service's stored copy (made once at SendMessage);
+// receivers must treat it as read-only. Mutating it corrupts future
+// redeliveries of the same message.
 type Message struct {
 	ID            string
 	Body          []byte
 	ReceiptHandle string
 	Receives      int // delivery count including this one
 }
+
+// MaxBatch is the per-call message cap of the batch APIs, matching SQS.
+const MaxBatch = 10
 
 // Config tunes service behaviour.
 type Config struct {
@@ -74,7 +133,8 @@ type Config struct {
 	// uniformly among the first ShuffleWindow visible messages. 1 gives
 	// FIFO; larger values emulate SQS's weak ordering. Default 4.
 	ShuffleWindow int
-	// Seed for the delivery-order randomness.
+	// Seed for the delivery-order randomness. Each queue derives its own
+	// deterministic stream from (Seed, queue name).
 	Seed int64
 	// Clock defaults to RealClock.
 	Clock Clock
@@ -96,31 +156,72 @@ func (c Config) withDefaults() Config {
 // Service is a namespace of queues, the moral equivalent of one SQS
 // account endpoint.
 type Service struct {
-	mu     sync.Mutex
-	cfg    Config
-	rng    *rand.Rand
+	cfg Config
+	// mu guards only the queue namespace; message operations take the
+	// per-queue lock instead.
+	mu     sync.RWMutex
 	queues map[string]*queueState
 	// apiRequests counts every service call for the pricing model.
-	apiRequests int64
-	// apiByQueue attributes queue-addressed calls to their queue, so a
-	// multi-tenant deployment (several jobs sharing one service) can
-	// bill each tenant its own traffic. Counts survive queue deletion.
-	apiByQueue map[string]int64
+	apiRequests atomic.Int64
+	// apiByQueue attributes queue-addressed calls to their queue
+	// (name → *atomic.Int64), so a multi-tenant deployment (several jobs
+	// sharing one service) can bill each tenant its own traffic. Counts
+	// survive queue deletion.
+	apiByQueue sync.Map
 }
 
+// message is the stored form of one queued item. A live message is in
+// exactly one of the queue's two delivery structures: the visible list
+// (elem != nil) or the in-flight heap (heapIdx >= 0).
 type message struct {
 	id        string
 	body      []byte
 	visibleAt time.Time
 	receives  int
 	receipt   string
-	deleted   bool
+	elem      *list.Element // position in queueState.visible, nil if in flight
+	heapIdx   int           // position in queueState.inflight, -1 if visible
 }
 
 type queueState struct {
-	name     string
-	messages []*message
-	nextID   int
+	name string
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// visible holds deliverable messages in delivery order: arrivals at
+	// the back, expired redeliveries at the front (approximating their
+	// original arrival position).
+	visible *list.List
+	// inflight orders leased messages by the time they become visible
+	// again, so expiry processing pops only what actually expired.
+	inflight inflightHeap
+	// byReceipt indexes live messages by their latest receipt handle for
+	// O(log n) DeleteMessage / ChangeVisibility.
+	byReceipt map[string]*message
+	nextID    int
+	// notify is closed and replaced to broadcast "a message may have
+	// become visible" to long-poll waiters.
+	notify chan struct{}
+	// dead is set when the queue is deleted so blocked receivers fail
+	// with ErrNoSuchQueue instead of waiting forever.
+	dead bool
+}
+
+// inflightHeap is a min-heap of in-flight messages by visibleAt.
+type inflightHeap []*message
+
+func (h inflightHeap) Len() int           { return len(h) }
+func (h inflightHeap) Less(i, j int) bool { return h[i].visibleAt.Before(h[j].visibleAt) }
+func (h inflightHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *inflightHeap) Push(x any)        { m := x.(*message); m.heapIdx = len(*h); *h = append(*h, m) }
+func (h *inflightHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	m.heapIdx = -1
+	*h = old[:n-1]
+	return m
 }
 
 // Errors returned by the service.
@@ -129,96 +230,224 @@ var (
 	ErrQueueExists    = errors.New("queue: queue already exists")
 	ErrInvalidReceipt = errors.New("queue: invalid or stale receipt handle")
 	ErrEmptyQueueName = errors.New("queue: empty queue name")
+	ErrBatchSize      = fmt.Errorf("queue: batch must hold 1..%d entries", MaxBatch)
 )
 
 // NewService creates a queue service.
 func NewService(cfg Config) *Service {
-	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		queues:     make(map[string]*queueState),
-		apiByQueue: make(map[string]int64),
+		cfg:    cfg.withDefaults(),
+		queues: make(map[string]*queueState),
 	}
 }
 
 // APIRequests returns the total number of billed API calls so far.
 func (s *Service) APIRequests() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.apiRequests
+	return s.apiRequests.Load()
 }
 
 // APIRequestsFor returns the billed API calls addressed to one queue
 // (service-wide calls like ListQueues are not attributed).
 func (s *Service) APIRequestsFor(queueName string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.apiByQueue[queueName]
+	if c, ok := s.apiByQueue.Load(queueName); ok {
+		return c.(*atomic.Int64).Load()
+	}
+	return 0
 }
 
-// count bills one API call addressed to queueName. Caller holds s.mu.
+// count bills one API call addressed to queueName. A batch call counts
+// once regardless of how many messages it moves.
 func (s *Service) count(queueName string) {
-	s.apiRequests++
-	s.apiByQueue[queueName]++
+	s.apiRequests.Add(1)
+	c, ok := s.apiByQueue.Load(queueName)
+	if !ok {
+		c, _ = s.apiByQueue.LoadOrStore(queueName, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
 }
 
-// CreateQueue registers a new queue.
+// getQueue resolves a live queue by name.
+func (s *Service) getQueue(name string) (*queueState, error) {
+	s.mu.RLock()
+	q := s.queues[name]
+	s.mu.RUnlock()
+	if q == nil {
+		return nil, ErrNoSuchQueue
+	}
+	return q, nil
+}
+
+// queueSeed derives a per-queue deterministic rng stream from the
+// service seed and the queue name.
+func queueSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// CreateQueue registers a new queue. The name is validated before the
+// call is billed, so a rejected empty name neither counts as a request
+// nor grows the per-queue billing index.
 func (s *Service) CreateQueue(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.count(name)
 	if name == "" {
 		return ErrEmptyQueueName
 	}
+	s.count(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.queues[name]; ok {
 		return ErrQueueExists
 	}
-	s.queues[name] = &queueState{name: name}
+	s.queues[name] = &queueState{
+		name:      name,
+		rng:       rand.New(rand.NewSource(queueSeed(s.cfg.Seed, name))),
+		visible:   list.New(),
+		byReceipt: make(map[string]*message),
+		notify:    make(chan struct{}),
+	}
 	return nil
 }
 
-// DeleteQueue removes a queue and its messages.
+// DeleteQueue removes a queue and its messages. Receivers blocked in a
+// long poll on the queue wake with ErrNoSuchQueue.
 func (s *Service) DeleteQueue(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.count(name)
-	if _, ok := s.queues[name]; !ok {
+	s.mu.Lock()
+	q, ok := s.queues[name]
+	if !ok {
+		s.mu.Unlock()
 		return ErrNoSuchQueue
 	}
 	delete(s.queues, name)
+	s.mu.Unlock()
+	q.mu.Lock()
+	q.dead = true
+	q.broadcastLocked()
+	q.mu.Unlock()
 	return nil
 }
 
 // ListQueues returns queue names sorted.
 func (s *Service) ListQueues() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.apiRequests++
+	s.apiRequests.Add(1)
+	s.mu.RLock()
 	names := make([]string, 0, len(s.queues))
 	for n := range s.queues {
 		names = append(names, n)
 	}
+	s.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
-// SendMessage enqueues a message body.
+// SendMessage enqueues a message body. The body is copied once here;
+// receivers are handed the stored copy and must not mutate it.
 func (s *Service) SendMessage(queueName string, body []byte) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.count(queueName)
-	q, ok := s.queues[queueName]
-	if !ok {
-		return "", ErrNoSuchQueue
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return "", err
 	}
+	q.mu.Lock()
+	id := q.sendLocked(queueName, body)
+	q.broadcastLocked()
+	q.mu.Unlock()
+	return id, nil
+}
+
+// SendMessageBatch enqueues up to MaxBatch bodies in one call, billed as
+// a single API request — the SQS batch-pricing lever that cuts the
+// per-message cost the paper's Table 4 prices at one request each.
+func (s *Service) SendMessageBatch(queueName string, bodies [][]byte) ([]string, error) {
+	if len(bodies) == 0 || len(bodies) > MaxBatch {
+		return nil, ErrBatchSize
+	}
+	s.count(queueName)
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(bodies))
+	q.mu.Lock()
+	for _, body := range bodies {
+		ids = append(ids, q.sendLocked(queueName, body))
+	}
+	q.broadcastLocked()
+	q.mu.Unlock()
+	return ids, nil
+}
+
+// sendLocked appends one message to the visible list. Caller holds q.mu.
+func (q *queueState) sendLocked(queueName string, body []byte) string {
 	q.nextID++
 	m := &message{
-		id:   fmt.Sprintf("%s-%d", queueName, q.nextID),
-		body: append([]byte(nil), body...),
+		id:      fmt.Sprintf("%s-%d", queueName, q.nextID),
+		body:    append([]byte(nil), body...),
+		heapIdx: -1,
 	}
-	q.messages = append(q.messages, m)
-	return m.id, nil
+	m.elem = q.visible.PushBack(m)
+	return m.id
+}
+
+// broadcastLocked wakes every long-poll waiter on the queue. Caller
+// holds q.mu.
+func (q *queueState) broadcastLocked() {
+	close(q.notify)
+	q.notify = make(chan struct{})
+}
+
+// expireLocked releases every in-flight message whose visibility timeout
+// has passed, re-inserting them at the front of the visible list (the
+// closest analogue of their original arrival position). Caller holds
+// q.mu. Amortized O(log n) per expired message.
+func (q *queueState) expireLocked(now time.Time) {
+	var expired []*message
+	for len(q.inflight) > 0 && !q.inflight[0].visibleAt.After(now) {
+		expired = append(expired, heap.Pop(&q.inflight).(*message))
+	}
+	// Pops arrive in expiry order; push front in reverse so the earliest
+	// expiry ends up closest to the head.
+	for i := len(expired) - 1; i >= 0; i-- {
+		expired[i].elem = q.visible.PushFront(expired[i])
+	}
+}
+
+// receiveOneLocked delivers one visible message, or ok=false when none
+// is deliverable. Caller holds q.mu and has already run expireLocked.
+func (s *Service) receiveOneLocked(q *queueState, now time.Time, visibility time.Duration) (Message, bool) {
+	n := q.visible.Len()
+	if n == 0 {
+		return Message{}, false
+	}
+	if n > s.cfg.ShuffleWindow {
+		n = s.cfg.ShuffleWindow
+	}
+	e := q.visible.Front()
+	for i := q.rng.Intn(n); i > 0; i-- {
+		e = e.Next()
+	}
+	m := e.Value.(*message)
+	m.receives++
+	if m.receipt != "" {
+		delete(q.byReceipt, m.receipt)
+	}
+	m.receipt = fmt.Sprintf("%s#r%d", m.id, m.receives)
+	q.byReceipt[m.receipt] = m
+	duplicate := s.cfg.DuplicateProb > 0 && q.rng.Float64() < s.cfg.DuplicateProb
+	if duplicate {
+		// Deliver without hiding: the next receiver may get it too.
+	} else {
+		q.visible.Remove(e)
+		m.elem = nil
+		m.visibleAt = now.Add(visibility)
+		heap.Push(&q.inflight, m)
+	}
+	return Message{
+		ID:            m.id,
+		Body:          m.body, // stored copy; read-only contract
+		ReceiptHandle: m.receipt,
+		Receives:      m.receives,
+	}, true
 }
 
 // ReceiveMessage pops a visible message, hiding it for the visibility
@@ -227,126 +456,232 @@ func (s *Service) SendMessage(queueName string, body []byte) (string, error) {
 // DuplicateProb > 0 a message may occasionally be delivered to two
 // receivers at once — both SQS behaviours the paper's design tolerates.
 func (s *Service) ReceiveMessage(queueName string, visibility time.Duration) (Message, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.ReceiveMessageWait(queueName, visibility, 0)
+}
+
+// ReceiveMessageWait is ReceiveMessage with SQS-style long polling: when
+// the queue has nothing visible it blocks until a message arrives, an
+// in-flight message's visibility expires, or the wait time elapses,
+// instead of forcing the caller into a sleep loop. wait <= 0 returns
+// immediately.
+func (s *Service) ReceiveMessageWait(queueName string, visibility, wait time.Duration) (Message, bool, error) {
+	msgs, err := s.receiveBatchWait(queueName, visibility, 1, wait)
+	if err != nil || len(msgs) == 0 {
+		return Message{}, false, err
+	}
+	return msgs[0], true, nil
+}
+
+// ReceiveMessageBatch receives up to max (≤ MaxBatch) messages in one
+// call, billed as a single API request, long-polling up to wait when the
+// queue is empty. It returns an empty slice — not an error — when
+// nothing became visible in time.
+func (s *Service) ReceiveMessageBatch(queueName string, visibility time.Duration, max int, wait time.Duration) ([]Message, error) {
+	if max <= 0 || max > MaxBatch {
+		return nil, ErrBatchSize
+	}
+	return s.receiveBatchWait(queueName, visibility, max, wait)
+}
+
+// receiveBatchWait is the shared receive core: one billed request, up to
+// max messages, blocking up to wait for the first one.
+func (s *Service) receiveBatchWait(queueName string, visibility time.Duration, max int, wait time.Duration) ([]Message, error) {
 	s.count(queueName)
-	q, ok := s.queues[queueName]
-	if !ok {
-		return Message{}, false, ErrNoSuchQueue
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return nil, err
 	}
 	if visibility <= 0 {
 		visibility = s.cfg.DefaultVisibility
 	}
-	now := s.cfg.Clock.Now()
-	// Collect up to ShuffleWindow visible candidates.
-	var candidates []*message
-	for _, m := range q.messages {
-		if m.deleted || m.visibleAt.After(now) {
-			continue
+	// The overall timer caps real blocking time even under a FakeClock
+	// whose time never advances, so stopping a worker mid-poll cannot
+	// deadlock.
+	var overallC <-chan time.Time
+	if wait > 0 {
+		overall := time.NewTimer(wait)
+		defer overall.Stop()
+		overallC = overall.C
+	}
+	deadline := s.cfg.Clock.Now().Add(wait)
+	for {
+		// Grab the advance channel before inspecting state: a clock
+		// advance after this point closes exactly this channel, so the
+		// select below cannot miss it.
+		var advC <-chan struct{}
+		if an, ok := s.cfg.Clock.(AdvanceNotifier); ok {
+			advC = an.AdvanceCh()
 		}
-		candidates = append(candidates, m)
-		if len(candidates) >= s.cfg.ShuffleWindow {
-			break
+		q.mu.Lock()
+		if q.dead {
+			q.mu.Unlock()
+			return nil, ErrNoSuchQueue
+		}
+		now := s.cfg.Clock.Now()
+		q.expireLocked(now)
+		var out []Message
+		for len(out) < max {
+			m, ok := s.receiveOneLocked(q, now, visibility)
+			if !ok {
+				break
+			}
+			out = append(out, m)
+		}
+		if len(out) > 0 || wait <= 0 || !now.Before(deadline) {
+			q.mu.Unlock()
+			return out, nil
+		}
+		notify := q.notify
+		// Wake when the earliest in-flight lease expires.
+		var expiry *time.Timer
+		var expiryC <-chan time.Time
+		if len(q.inflight) > 0 {
+			if d := q.inflight[0].visibleAt.Sub(now); d > 0 {
+				expiry = time.NewTimer(d)
+				expiryC = expiry.C
+			}
+		}
+		q.mu.Unlock()
+		select {
+		case <-notify:
+		case <-advC:
+		case <-expiryC:
+		case <-overallC:
+			if expiry != nil {
+				expiry.Stop()
+			}
+			return nil, nil
+		}
+		if expiry != nil {
+			expiry.Stop()
 		}
 	}
-	if len(candidates) == 0 {
-		return Message{}, false, nil
-	}
-	m := candidates[s.rng.Intn(len(candidates))]
-	m.receives++
-	m.receipt = fmt.Sprintf("%s#r%d", m.id, m.receives)
-	duplicate := s.cfg.DuplicateProb > 0 && s.rng.Float64() < s.cfg.DuplicateProb
-	if duplicate {
-		// Deliver without hiding: the next receiver may get it too.
-	} else {
-		m.visibleAt = now.Add(visibility)
-	}
-	return Message{
-		ID:            m.id,
-		Body:          append([]byte(nil), m.body...),
-		ReceiptHandle: m.receipt,
-		Receives:      m.receives,
-	}, true, nil
 }
 
 // DeleteMessage acknowledges a message by its most recent receipt handle.
 // A stale handle (the message timed out and was redelivered) returns
 // ErrInvalidReceipt, matching SQS's contract that only the latest receipt
-// is authoritative.
+// is authoritative. The message is removed from every index immediately,
+// so deleted messages occupy no memory and slow no later operation.
 func (s *Service) DeleteMessage(queueName, receiptHandle string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.count(queueName)
-	q, ok := s.queues[queueName]
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.deleteLocked(receiptHandle)
+}
+
+// DeleteMessageBatch acknowledges up to MaxBatch messages in one call,
+// billed as a single API request. The returned slice has one entry per
+// receipt: nil on success, ErrInvalidReceipt for stale handles — partial
+// failure does not abort the rest of the batch, matching SQS.
+func (s *Service) DeleteMessageBatch(queueName string, receipts []string) ([]error, error) {
+	if len(receipts) == 0 || len(receipts) > MaxBatch {
+		return nil, ErrBatchSize
+	}
+	s.count(queueName)
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]error, len(receipts))
+	q.mu.Lock()
+	for i, r := range receipts {
+		results[i] = q.deleteLocked(r)
+	}
+	q.mu.Unlock()
+	return results, nil
+}
+
+// deleteLocked removes one live message by receipt. Caller holds q.mu.
+func (q *queueState) deleteLocked(receiptHandle string) error {
+	m, ok := q.byReceipt[receiptHandle]
 	if !ok {
-		return ErrNoSuchQueue
+		return ErrInvalidReceipt
 	}
-	for _, m := range q.messages {
-		if m.deleted {
-			continue
-		}
-		if m.receipt == receiptHandle {
-			m.deleted = true
-			return nil
-		}
+	if m.elem != nil {
+		q.visible.Remove(m.elem)
+		m.elem = nil
+	} else if m.heapIdx >= 0 {
+		heap.Remove(&q.inflight, m.heapIdx)
 	}
-	return ErrInvalidReceipt
+	delete(q.byReceipt, receiptHandle)
+	return nil
 }
 
 // ChangeVisibility extends or shrinks the invisibility of an in-flight
 // message (SQS ChangeMessageVisibility), used by long-running workers to
-// keep ownership of a task.
+// keep ownership of a task. O(log n) by receipt handle.
 func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Duration) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.count(queueName)
-	q, ok := s.queues[queueName]
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m, ok := q.byReceipt[receiptHandle]
 	if !ok {
-		return ErrNoSuchQueue
+		return ErrInvalidReceipt
 	}
-	for _, m := range q.messages {
-		if !m.deleted && m.receipt == receiptHandle {
-			m.visibleAt = s.cfg.Clock.Now().Add(d)
-			return nil
-		}
+	now := s.cfg.Clock.Now()
+	old := m.visibleAt
+	m.visibleAt = now.Add(d)
+	switch {
+	case m.visibleAt.After(now) && m.elem != nil:
+		// Re-hide a currently visible message (e.g. its lease expired but
+		// it was not yet redelivered).
+		q.visible.Remove(m.elem)
+		m.elem = nil
+		heap.Push(&q.inflight, m)
+	case m.visibleAt.After(now):
+		heap.Fix(&q.inflight, m.heapIdx)
+	case m.elem == nil:
+		// Released early: make it deliverable now and wake waiters.
+		heap.Remove(&q.inflight, m.heapIdx)
+		m.elem = q.visible.PushFront(m)
+		q.broadcastLocked()
 	}
-	return ErrInvalidReceipt
+	if m.visibleAt.Before(old) && m.heapIdx >= 0 {
+		// The lease shrank but is still in the future: wake waiters so
+		// their expiry timers re-arm against the new, earlier deadline.
+		q.broadcastLocked()
+	}
+	return nil
 }
 
 // ApproximateCount reports visible and in-flight (invisible, undeleted)
 // message counts. Like SQS, the numbers are approximate from the caller's
-// perspective because they race with concurrent operations.
+// perspective because they race with concurrent operations — but each
+// snapshot is exact and O(expired) to produce: the maintained structure
+// sizes are read after releasing newly expired leases, with no scan over
+// the message history.
 func (s *Service) ApproximateCount(queueName string) (visible, inflight int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.count(queueName)
-	q, ok := s.queues[queueName]
-	if !ok {
-		return 0, 0, ErrNoSuchQueue
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return 0, 0, err
 	}
-	now := s.cfg.Clock.Now()
-	for _, m := range q.messages {
-		if m.deleted {
-			continue
-		}
-		if m.visibleAt.After(now) {
-			inflight++
-		} else {
-			visible++
-		}
-	}
-	return visible, inflight, nil
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(s.cfg.Clock.Now())
+	return q.visible.Len(), q.inflight.Len(), nil
 }
 
 // Purge removes every message from a queue.
 func (s *Service) Purge(queueName string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.count(queueName)
-	q, ok := s.queues[queueName]
-	if !ok {
-		return ErrNoSuchQueue
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return err
 	}
-	q.messages = nil
+	q.mu.Lock()
+	q.visible.Init()
+	q.inflight = nil
+	q.byReceipt = make(map[string]*message)
+	q.mu.Unlock()
 	return nil
 }

@@ -150,14 +150,19 @@ func (w *Worker) loop() {
 			return
 		default:
 		}
-		m, ok, err := w.env.Queue.ReceiveMessage(w.cfg.taskQueue(), w.cfg.Visibility)
-		if err != nil || !ok {
+		// Long poll: idle workers park on the queue's wait list between
+		// iterations instead of spinning on 2ms receives.
+		m, ok, err := w.env.Queue.ReceiveMessageWait(w.cfg.taskQueue(), w.cfg.Visibility, 20*time.Millisecond)
+		if err != nil {
 			select {
 			case <-w.stop:
 				return
 			case <-time.After(2 * time.Millisecond):
 			}
 			continue
+		}
+		if !ok {
+			continue // the long poll already waited; just re-check stop
 		}
 		var task taskMsg
 		if err := json.Unmarshal(m.Body, &task); err != nil {
@@ -329,13 +334,12 @@ func waitIteration(env Env, cfg JobConfig, iter, want int) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("twister: iteration %d timed out with %d/%d partitions", iter, len(done), want)
 		}
-		m, ok, err := env.Queue.ReceiveMessage(cfg.monitorQueue(), time.Minute)
+		m, ok, err := env.Queue.ReceiveMessageWait(cfg.monitorQueue(), time.Minute, 20*time.Millisecond)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			time.Sleep(2 * time.Millisecond)
-			continue
+			continue // the long poll already waited
 		}
 		var dm doneMsg
 		if err := json.Unmarshal(m.Body, &dm); err != nil {
