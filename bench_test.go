@@ -580,6 +580,46 @@ func BenchmarkBrokerInstanceSelection(b *testing.B) {
 	b.ReportMetric(float64(sel.Instances()), "selected_instances")
 }
 
+// BenchmarkBrokerJournalReplay measures crash recovery: a fresh broker
+// folding completed-job journals out of the blob store (the startup
+// path of brokerd -recover). Journals are written in the same
+// JSON-lines wire format GET /jobs/{id}/journal serves.
+func BenchmarkBrokerJournalReplay(b *testing.B) {
+	const jobs, tasksPerJob = 16, 64
+	env := classiccloud.Env{
+		Blob:  blobstore.NewStore(blobstore.Config{}),
+		Queue: queue.NewService(queue.Config{Seed: 1}),
+	}
+	if err := env.Blob.CreateBucket("broker-journal"); err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < jobs; k++ {
+		doc, err := broker.SyntheticJournal(tasksPerJob, time.Unix(1_000_000, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := env.Blob.Append("broker-journal", fmt.Sprintf("jobs/job-%04d", k+1), doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bk := broker.New(broker.Config{Env: env})
+		n, err := bk.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != 0 {
+			b.Fatalf("recovered %d running jobs from terminal journals", n)
+		}
+		if got := len(bk.Jobs()); got != jobs {
+			b.Fatalf("registered %d jobs, want %d", got, jobs)
+		}
+		bk.Close()
+	}
+	b.ReportMetric(float64(jobs*(tasksPerJob+2)), "events/op")
+}
+
 // BenchmarkAutoscalerDecide measures the pure policy function on a hot
 // path observation.
 func BenchmarkAutoscalerDecide(b *testing.B) {

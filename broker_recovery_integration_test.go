@@ -1,0 +1,187 @@
+// Kill-and-restart integration test for the event-sourced broker
+// control plane: ≥100 CAP3 tasks are driven through brokerd's HTTP API,
+// the broker is hard-stopped mid-job (no Close — its journal looks like
+// a kill -9's), and a fresh broker over the SAME blob store and queues
+// replays the journal, re-adopts the job without re-submitting anything,
+// and finishes it. Task accounting must be exact — every task completes
+// exactly once, none lost, none double-counted — and the journaled
+// billing ledger must land within one hour-unit of an uninterrupted
+// run's.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/broker"
+	"repro/internal/classiccloud"
+	"repro/internal/queue"
+	"repro/internal/workload"
+)
+
+// recoveryTestConfig pins the fleet to one instance so the hour-unit
+// ledgers of the crashed and uninterrupted runs are directly
+// comparable: sub-hour lifetimes bill one unit per launch, and the only
+// extra launch a crash can add is the recovery relaunch.
+func recoveryTestConfig(env classiccloud.Env) broker.Config {
+	return broker.Config{
+		Env:                env,
+		WorkersPerInstance: 2,
+		VisibilityTimeout:  600 * time.Millisecond,
+		MaxReceives:        8,
+		TickInterval:       5 * time.Millisecond,
+		Autoscale: broker.AutoscalePolicy{
+			MinInstances: 1, MaxInstances: 1,
+		},
+	}
+}
+
+func recoveryWorkload(t *testing.T) map[string][]byte {
+	t.Helper()
+	const total = 110
+	files := make(map[string][]byte, total)
+	for i := 0; i < total; i++ {
+		doc, err := workload.Cap3File(int64(i+1), 40, 1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[fmt.Sprintf("region%03d.fsa", i)] = doc
+	}
+	return files
+}
+
+func TestBrokerCrashRecoveryEndToEnd(t *testing.T) {
+	files := recoveryWorkload(t)
+	total := len(files)
+
+	// --- Crashed run: submit over HTTP, hard-stop mid-job, recover. ---
+	env := classiccloud.Env{
+		Blob:  blob.NewStore(blob.Config{}),
+		Queue: queue.NewService(queue.Config{Seed: 99}),
+	}
+	b1 := broker.New(recoveryTestConfig(env))
+	srv1 := httptest.NewServer(&broker.HTTPHandler{Broker: b1})
+	client1 := &broker.HTTPClient{BaseURL: srv1.URL}
+
+	st, err := client1.Submit(broker.JobRequest{App: "cap3", Tenant: "alice", Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != total {
+		t.Fatalf("submitted %d tasks, want %d", st.Total, total)
+	}
+
+	// Let the job make real progress, then pull the plug: Halt kills the
+	// fleet mid-task and stops every loop without journaling anything.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, err := client1.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Done >= 25 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck before crash: %+v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b1.Halt()
+	srv1.Close()
+	mid, _ := b1.Job(st.ID)
+	preDone := mid.Status().Done
+	if preDone >= total {
+		t.Fatalf("job finished before the crash (done=%d); nothing to recover", preDone)
+	}
+
+	// A fresh broker over the SAME environment: the journal bucket, task
+	// queue, monitor queue, and output bucket are all still there.
+	b2 := broker.New(recoveryTestConfig(env))
+	defer b2.Close()
+	n, err := b2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d running jobs, want 1", n)
+	}
+	srv2 := httptest.NewServer(&broker.HTTPHandler{Broker: b2})
+	defer srv2.Close()
+	client2 := &broker.HTTPClient{BaseURL: srv2.URL}
+
+	final, err := client2.WaitForCompletion(st.ID, 120*time.Second, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("recovered job did not complete: %v (status %+v)", err, final)
+	}
+
+	// Exact task accounting: every task done exactly once, none lost to
+	// the crash, none dead-lettered, none double-counted (the done-set
+	// fold is idempotent even when the crash redelivers reports).
+	if final.Done != total {
+		t.Errorf("done = %d, want %d (task lost or double-counted)", final.Done, total)
+	}
+	if final.Dead != 0 {
+		t.Errorf("dead = %d, want 0", final.Dead)
+	}
+	if final.Adoptions != 1 {
+		t.Errorf("adoptions = %d, want 1", final.Adoptions)
+	}
+	outs, err := client2.Outputs(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != total {
+		t.Errorf("collected %d outputs, want %d", len(outs), total)
+	}
+
+	crashedCost, err := client2.Cost(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashedCost.Orphaned < 1 {
+		t.Errorf("orphaned = %d, want ≥ 1 (the crash stranded an instance)", crashedCost.Orphaned)
+	}
+
+	// --- Uninterrupted reference run: same workload, same config. ---
+	refEnv := classiccloud.Env{
+		Blob:  blob.NewStore(blob.Config{}),
+		Queue: queue.NewService(queue.Config{Seed: 99}),
+	}
+	b3 := broker.New(recoveryTestConfig(refEnv))
+	defer b3.Close()
+	srv3 := httptest.NewServer(&broker.HTTPHandler{Broker: b3})
+	defer srv3.Close()
+	client3 := &broker.HTTPClient{BaseURL: srv3.URL}
+	stRef, err := client3.Submit(broker.JobRequest{App: "cap3", Tenant: "alice", Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client3.WaitForCompletion(stRef.ID, 120*time.Second, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	refCost, err := client3.Cost(stRef.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The journaled ledger carries the crashed instance's hour unit and
+	// the recovery relaunch's: within one hour-unit of the clean run.
+	if diff := math.Abs(crashedCost.HourUnits - refCost.HourUnits); diff > 1 {
+		t.Errorf("hour units: crashed run %v vs uninterrupted %v (diff %v > 1)",
+			crashedCost.HourUnits, refCost.HourUnits, diff)
+	}
+
+	// The per-tenant attribution survives the restart too.
+	tenants, err := client2.Tenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 1 || tenants[0].Tenant != "alice" || tenants[0].Done != total {
+		t.Errorf("tenant attribution after recovery = %+v", tenants)
+	}
+}

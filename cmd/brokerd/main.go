@@ -1,23 +1,30 @@
 // Command brokerd runs the elastic job broker as a daemon: an HTTP API
 // for submitting CAP3/BLAST/GTM jobs over the simulated cloud substrate
 // (blob store + scheduling queues) with an autoscaled, cost-accounted
-// worker fleet per job.
+// worker fleet per job. Job state is event-sourced: every lifecycle
+// transition is journaled to the blob store, and a restarted daemon
+// replays the journals and re-adopts unfinished work (-recover).
 //
 // Usage:
 //
-//	brokerd -addr :8080 -max-fleet 16 -workers 2
+//	brokerd -addr :8080 -max-fleet 16 -workers 2 \
+//	        -journal-bucket broker-journal -recover \
+//	        -fleet-budget 16 -tenant-quotas alice=6,bob=2
 //
 // Endpoints (see internal/broker.HTTPHandler):
 //
 //	POST /jobs; GET /jobs, /jobs/{id}, /jobs/{id}/events,
-//	/jobs/{id}/cost, /jobs/{id}/deadletters, /jobs/{id}/outputs;
-//	POST /jobs/{id}/preempt; GET /fleet
+//	/jobs/{id}/cost, /jobs/{id}/deadletters, /jobs/{id}/outputs,
+//	/jobs/{id}/journal; POST /jobs/{id}/preempt; GET /fleet, /tenants
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/blob"
@@ -25,6 +32,26 @@ import (
 	"repro/internal/classiccloud"
 	"repro/internal/queue"
 )
+
+// parseQuotas decodes "alice=6,bob=2" into a quota map.
+func parseQuotas(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	quotas := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad quota %q (want tenant=N)", pair)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad quota %q: instance budget must be a positive integer", pair)
+		}
+		quotas[name] = n
+	}
+	return quotas, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -34,7 +61,20 @@ func main() {
 	visibility := flag.Duration("visibility", time.Minute, "task lease length")
 	maxReceives := flag.Int("max-receives", 4, "per-task retry cap before dead-lettering")
 	tick := flag.Duration("tick", 200*time.Millisecond, "autoscaler cadence")
+	journalBucket := flag.String("journal-bucket", "broker-journal",
+		"blob bucket for per-job event journals (\"-\" disables journaling)")
+	doRecover := flag.Bool("recover", false,
+		"replay journals at startup and re-adopt unfinished jobs")
+	fleetBudget := flag.Int("fleet-budget", 0,
+		"broker-wide running-instance budget shared by all tenants (0 = sum of quotas, or unlimited)")
+	tenantQuotas := flag.String("tenant-quotas", "",
+		"per-tenant instance quotas, e.g. alice=6,bob=2")
 	flag.Parse()
+
+	quotas, err := parseQuotas(*tenantQuotas)
+	if err != nil {
+		log.Fatalf("brokerd: -tenant-quotas: %v", err)
+	}
 
 	env := classiccloud.Env{
 		Blob:  blob.NewStore(blob.Config{}),
@@ -50,11 +90,26 @@ func main() {
 		VisibilityTimeout:  *visibility,
 		MaxReceives:        *maxReceives,
 		TickInterval:       *tick,
+		JournalBucket:      *journalBucket,
+		TenantQuotas:       quotas,
+		FleetBudget:        *fleetBudget,
 	})
 	defer b.Close()
 
-	log.Printf("brokerd: listening on %s (max fleet %d, %d workers/instance)",
-		*addr, *maxFleet, *workers)
+	if *doRecover {
+		// brokerd's env is process-local, so a fresh daemon finds an
+		// empty journal bucket; the flag matters when the environment is
+		// shared (embedded brokers, future networked blob/queue
+		// services), and recovery on an empty bucket is a no-op.
+		n, err := b.Recover()
+		if err != nil {
+			log.Printf("brokerd: recovery: %v", err)
+		}
+		log.Printf("brokerd: recovered %d running job(s) from journal bucket %q", n, *journalBucket)
+	}
+
+	log.Printf("brokerd: listening on %s (max fleet %d, %d workers/instance, journal %q)",
+		*addr, *maxFleet, *workers, *journalBucket)
 	if err := http.ListenAndServe(*addr, &broker.HTTPHandler{Broker: b}); err != nil {
 		log.Fatal(err)
 	}

@@ -95,6 +95,7 @@ func experiments() []experiment {
 		{"brokerplan", "Broker cost-aware instance selection (cheapest type meeting a deadline)", brokerPlan},
 		{"broker", "Elastic broker live run: autoscaling and cost vs fixed fleet", brokerLive},
 		{"queuebench", "Queue core throughput baseline (writes BENCH_queue.json)", queueBench},
+		{"brokerrecover", "Broker journal replay and append overhead (writes BENCH_broker.json)", brokerRecover},
 	}
 }
 
@@ -427,6 +428,164 @@ func queueBench() {
 		return
 	}
 	fmt.Println("baseline written to BENCH_queue.json")
+}
+
+// brokerRecoverReport is the BENCH_broker.json schema: the durability
+// layer's baseline numbers, recorded so later changes (journal
+// compaction, snapshotting) can be compared against this commit.
+type brokerRecoverReport struct {
+	// Replay measures crash recovery: jobs/s a fresh broker re-adopts by
+	// replaying journals of the given length.
+	Replay []replayPoint `json:"replay"`
+	// JournalAppendsPerTask is the steady-state blob-append overhead of
+	// journaling, in billed PUT requests per task.
+	JournalAppendsPerTask float64 `json:"journal_appends_per_task"`
+	// AppendOverheadNsPerTask is the wall-clock cost of journaling per
+	// task: (journaled run − unjournaled run) / tasks.
+	AppendOverheadNsPerTask float64 `json:"append_overhead_ns_per_task"`
+}
+
+type replayPoint struct {
+	JournalEvents int     `json:"journal_events"`
+	Jobs          int     `json:"jobs"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+}
+
+// writeSyntheticJournal appends one completed-job journal of exactly
+// nEvents entries (submitted + checkpoints + completed) to the journal
+// bucket, via the broker's shared fixture builder.
+func writeSyntheticJournal(store *blob.Store, jobID string, nEvents int) error {
+	doc, err := broker.SyntheticJournal(nEvents-2, time.Unix(1_000_000, 0))
+	if err != nil {
+		return err
+	}
+	_, err = store.Append("broker-journal", "jobs/"+jobID, doc)
+	return err
+}
+
+// brokerRecover benchmarks the event-sourced control plane: journal
+// replay throughput as a function of journal length, and the
+// steady-state append overhead journaling adds to each task. Results go
+// to BENCH_broker.json.
+func brokerRecover() {
+	rep := brokerRecoverReport{}
+
+	// Replay rate: populate a journal bucket with completed-job journals
+	// of a fixed length, then time a fresh broker's Recover.
+	for _, nEvents := range []int{16, 128, 1024} {
+		jobs := 4096 / nEvents
+		env := classiccloud.Env{
+			Blob:  blob.NewStore(blob.Config{}),
+			Queue: queue.NewService(queue.Config{Seed: 5}),
+		}
+		if err := env.Blob.CreateBucket("broker-journal"); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			return
+		}
+		for k := 0; k < jobs; k++ {
+			if err := writeSyntheticJournal(env.Blob, fmt.Sprintf("job-%04d", k+1), nEvents); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				return
+			}
+		}
+		bk := broker.New(broker.Config{Env: env})
+		start := time.Now()
+		if _, err := bk.Recover(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			return
+		}
+		elapsed := time.Since(start).Seconds()
+		bk.Close()
+		rep.Replay = append(rep.Replay, replayPoint{
+			JournalEvents: nEvents,
+			Jobs:          jobs,
+			JobsPerSec:    float64(jobs) / elapsed,
+			EventsPerSec:  float64(jobs*nEvents) / elapsed,
+		})
+	}
+
+	// Append overhead: the same live workload with and without the
+	// journal; the PUT-request delta is the appends, the wall delta the
+	// latency cost.
+	const tasks = 128
+	files, err := workload.Cap3FileSet(13, tasks, 20, 600, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	run := func(journalBucket string) (time.Duration, int64, error) {
+		env := classiccloud.Env{
+			Blob:  blob.NewStore(blob.Config{}),
+			Queue: queue.NewService(queue.Config{Seed: 6}),
+		}
+		bk := broker.New(broker.Config{
+			Env:           env,
+			TickInterval:  2 * time.Millisecond,
+			JournalBucket: journalBucket,
+			Autoscale: broker.AutoscalePolicy{
+				MinInstances: 2, MaxInstances: 2,
+			},
+		})
+		defer bk.Close()
+		base := env.Blob.Usage().PutRequests
+		start := time.Now()
+		j, err := bk.Submit(broker.JobRequest{App: "cap3", Files: files})
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := j.Wait(60 * time.Second); err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), env.Blob.Usage().PutRequests - base, nil
+	}
+	// Best-of-3 per config: scheduler noise on an oversubscribed CI
+	// machine dwarfs the per-task append cost, and minima compare the
+	// clean runs.
+	best := func(journalBucket string) (time.Duration, int64, error) {
+		var bestTime time.Duration
+		var puts int64
+		for i := 0; i < 3; i++ {
+			d, p, err := run(journalBucket)
+			if err != nil {
+				return 0, 0, err
+			}
+			if bestTime == 0 || d < bestTime {
+				bestTime, puts = d, p
+			}
+		}
+		return bestTime, puts, nil
+	}
+	journaledTime, journaledPuts, err := best("broker-journal")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	plainTime, plainPuts, err := best(broker.DisableJournal)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	rep.JournalAppendsPerTask = float64(journaledPuts-plainPuts) / tasks
+	rep.AppendOverheadNsPerTask = float64(journaledTime-plainTime) / tasks
+
+	for _, p := range rep.Replay {
+		fmt.Printf("replay %5d-event journals: %8.0f jobs/s  %10.0f events/s\n",
+			p.JournalEvents, p.JobsPerSec, p.EventsPerSec)
+	}
+	fmt.Printf("journal appends per task:        %8.2f\n", rep.JournalAppendsPerTask)
+	fmt.Printf("append overhead per task:        %8.0f ns\n", rep.AppendOverheadNsPerTask)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	if err := os.WriteFile("BENCH_broker.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		return
+	}
+	fmt.Println("baseline written to BENCH_broker.json")
 }
 
 // brokerLive runs a real (in-process) elastic job: 64 Cap3 files

@@ -71,6 +71,9 @@ var (
 	ErrNoSuchBucket = errors.New("blob: no such bucket")
 	ErrNoSuchKey    = errors.New("blob: no such key")
 	ErrBucketExists = errors.New("blob: bucket already exists")
+	// ErrPreconditionFailed is returned by PutIf when the object's current
+	// version does not match the caller's expectation — the CAS loss.
+	ErrPreconditionFailed = errors.New("blob: precondition failed")
 )
 
 type object struct {
@@ -78,6 +81,9 @@ type object struct {
 	writtenAt time.Time
 	prev      []byte // previous version, visible inside the consistency window
 	hadPrev   bool
+	// version counts writes to this key (Put, PutIf, Append), starting at
+	// 1. It is the CAS token for PutIf, the ETag of a real store.
+	version int64
 }
 
 type bucket struct {
@@ -116,15 +122,18 @@ func (s *Store) simulateTransfer(nBytes int) {
 	}
 }
 
-// CreateBucket registers a bucket.
+// CreateBucket registers a bucket. An empty name is rejected before any
+// accounting: the request never leaves the client, so it is not billed
+// (the same validation-before-billing rule PR 2 established for
+// queue.CreateQueue).
 func (s *Store) CreateBucket(name string) error {
+	if name == "" {
+		return errors.New("blob: empty bucket name")
+	}
 	s.simulateTransfer(0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.usage.PutRequests++
-	if name == "" {
-		return errors.New("blob: empty bucket name")
-	}
 	if _, ok := s.buckets[name]; ok {
 		return ErrBucketExists
 	}
@@ -132,8 +141,12 @@ func (s *Store) CreateBucket(name string) error {
 	return nil
 }
 
-// DeleteBucket removes a bucket and its objects.
+// DeleteBucket removes a bucket and its objects. An empty name is a
+// client-side validation error and is not billed.
 func (s *Store) DeleteBucket(name string) error {
+	if name == "" {
+		return ErrNoSuchBucket
+	}
 	s.simulateTransfer(0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,28 +164,119 @@ func (s *Store) DeleteBucket(name string) error {
 
 // Put writes an object, replacing any existing version. The replaced
 // version remains visible to reads inside the consistency window.
+// Ingress bytes are counted only for accepted writes: a PUT against a
+// missing bucket bills the request but transfers nothing.
 func (s *Store) Put(bucketName, key string, data []byte) error {
 	s.simulateTransfer(len(data))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.usage.PutRequests++
-	s.usage.BytesIn += int64(len(data))
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return ErrNoSuchBucket
 	}
+	s.usage.BytesIn += int64(len(data))
+	s.putLocked(b, key, data)
+	return nil
+}
+
+// putLocked installs a new version of bucket b's key. Caller holds s.mu
+// and has billed the request.
+func (s *Store) putLocked(b *bucket, key string, data []byte) int64 {
 	now := s.cfg.Clock.Now()
+	next := int64(1)
 	if old, exists := b.objects[key]; exists {
 		s.usage.BytesStored -= int64(len(old.data))
+		next = old.version + 1
 		b.objects[key] = &object{
 			data: append([]byte(nil), data...), writtenAt: now,
-			prev: old.data, hadPrev: true,
+			prev: old.data, hadPrev: true, version: next,
 		}
 	} else {
-		b.objects[key] = &object{data: append([]byte(nil), data...), writtenAt: now}
+		b.objects[key] = &object{data: append([]byte(nil), data...), writtenAt: now, version: next}
 	}
 	s.usage.BytesStored += int64(len(data))
-	return nil
+	return next
+}
+
+// PutIf is a compare-and-swap Put: the write succeeds only when the
+// object's current version equals ifVersion (0 = the object must not
+// exist yet). It returns the new version on success and
+// ErrPreconditionFailed when another writer got there first — the
+// conditional-write primitive coordination state machines need from a
+// blob store. The request is billed whether or not the precondition
+// holds (the service had to evaluate it), but ingress bytes only count
+// for accepted writes.
+func (s *Store) PutIf(bucketName, key string, data []byte, ifVersion int64) (int64, error) {
+	s.simulateTransfer(len(data))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage.PutRequests++
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return 0, ErrNoSuchBucket
+	}
+	cur := int64(0)
+	if o, exists := b.objects[key]; exists {
+		cur = o.version
+	}
+	if cur != ifVersion {
+		return cur, fmt.Errorf("%w: %s/%s at version %d, expected %d",
+			ErrPreconditionFailed, bucketName, key, cur, ifVersion)
+	}
+	s.usage.BytesIn += int64(len(data))
+	return s.putLocked(b, key, data), nil
+}
+
+// Append atomically appends data to an object, creating it when absent —
+// the append-blob/journal primitive. Appends are strongly consistent
+// (an appender has already seen the tail it extends, so serving a stale
+// view would violate read-your-writes); each append is one billed PUT.
+// It returns the object's new version.
+func (s *Store) Append(bucketName, key string, data []byte) (int64, error) {
+	s.simulateTransfer(len(data))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage.PutRequests++
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return 0, ErrNoSuchBucket
+	}
+	s.usage.BytesIn += int64(len(data))
+	o, exists := b.objects[key]
+	if !exists {
+		// writtenAt stays zero so the consistency window never hides an
+		// appended object: appends are read-your-writes by contract.
+		o = &object{}
+		b.objects[key] = o
+	}
+	o.data = append(o.data, data...)
+	o.version++
+	// An append publishes the whole tail: no stale prev view is kept and
+	// any pending fresh-create window is collapsed.
+	o.prev, o.hadPrev = nil, false
+	o.writtenAt = time.Time{}
+	s.usage.BytesStored += int64(len(data))
+	return o.version, nil
+}
+
+// Stat returns an object's size and version without transferring it
+// (consistent view, billed as one GET like Exists). Like any metadata
+// request it still pays the simulated HTTP round trip.
+func (s *Store) Stat(bucketName, key string) (size, version int64, err error) {
+	s.simulateTransfer(0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage.GetRequests++
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return 0, 0, ErrNoSuchBucket
+	}
+	o, exists := b.objects[key]
+	if !exists {
+		return 0, 0, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucketName, key)
+	}
+	return int64(len(o.data)), o.version, nil
 }
 
 // Get reads an object. Inside the consistency window after a Put, the
@@ -276,8 +380,10 @@ func (s *Store) List(bucketName, prefix string) ([]string, error) {
 	return keys, nil
 }
 
-// Exists reports whether a key currently exists (consistent view).
+// Exists reports whether a key currently exists (consistent view). It
+// pays the simulated round trip like every other request.
 func (s *Store) Exists(bucketName, key string) (bool, error) {
+	s.simulateTransfer(0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.usage.GetRequests++

@@ -1,10 +1,12 @@
 package blob
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -15,13 +17,23 @@ import (
 //	PUT    /{bucket}              create bucket
 //	DELETE /{bucket}              delete bucket
 //	GET    /{bucket}?prefix=p     list keys
-//	PUT    /{bucket}/{key}        put object (body = content)
+//	PUT    /{bucket}/{key}        put object (body = content);
+//	                              If-Match: <version> makes it a
+//	                              compare-and-swap (0 = must not exist)
+//	POST   /{bucket}/{key}        append to object (creates if absent)
 //	GET    /{bucket}/{key}        get object (eventually consistent)
-//	HEAD   /{bucket}/{key}        existence check (consistent)
+//	HEAD   /{bucket}/{key}        existence check (consistent; reports
+//	                              size and X-Blob-Version)
 //	DELETE /{bucket}/{key}        delete object
+//
+// Writes answer with an X-Blob-Version header carrying the object's new
+// version — the CAS token for a subsequent conditional PUT.
 type HTTPHandler struct {
 	Store *Store
 }
+
+// VersionHeader carries an object's version on write and HEAD responses.
+const VersionHeader = "X-Blob-Version"
 
 // ServeHTTP implements http.Handler.
 func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -80,10 +92,43 @@ func (h *HTTPHandler) serveObject(w http.ResponseWriter, r *http.Request, bucket
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		if match := r.Header.Get("If-Match"); match != "" {
+			ifVersion, perr := strconv.ParseInt(match, 10, 64)
+			if perr != nil {
+				http.Error(w, "blob: bad If-Match version: "+perr.Error(), http.StatusBadRequest)
+				return
+			}
+			version, err := h.Store.PutIf(bucket, key, body, ifVersion)
+			if errors.Is(err, ErrPreconditionFailed) {
+				w.Header().Set(VersionHeader, strconv.FormatInt(version, 10))
+				http.Error(w, err.Error(), http.StatusPreconditionFailed)
+				return
+			}
+			if err != nil {
+				writeStoreError(w, err)
+				return
+			}
+			w.Header().Set(VersionHeader, strconv.FormatInt(version, 10))
+			w.WriteHeader(http.StatusOK)
+			return
+		}
 		if err := h.Store.Put(bucket, key, body); err != nil {
 			writeStoreError(w, err)
 			return
 		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodPost:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		version, err := h.Store.Append(bucket, key, body)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.Header().Set(VersionHeader, strconv.FormatInt(version, 10))
 		w.WriteHeader(http.StatusOK)
 	case http.MethodGet:
 		data, err := h.Store.Get(bucket, key)
@@ -94,15 +139,18 @@ func (h *HTTPHandler) serveObject(w http.ResponseWriter, r *http.Request, bucket
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(data)
 	case http.MethodHead:
-		ok, err := h.Store.Exists(bucket, key)
+		size, version, err := h.Store.Stat(bucket, key)
 		if err != nil {
-			writeStoreError(w, err)
+			// HEAD responses carry no body; the status alone reports it.
+			if errors.Is(err, ErrNoSuchBucket) || errors.Is(err, ErrNoSuchKey) {
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			w.WriteHeader(http.StatusBadRequest)
 			return
 		}
-		if !ok {
-			w.WriteHeader(http.StatusNotFound)
-			return
-		}
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		w.Header().Set(VersionHeader, strconv.FormatInt(version, 10))
 		w.WriteHeader(http.StatusOK)
 	case http.MethodDelete:
 		if err := h.Store.Delete(bucket, key); err != nil {
@@ -170,6 +218,66 @@ func (c *HTTPClient) Get(bucket, key string) ([]byte, error) {
 		return nil, fmt.Errorf("blob: GET %s/%s: %s", bucket, key, resp.Status)
 	}
 	return io.ReadAll(resp.Body)
+}
+
+// Append appends data to an object (creating it when absent) and
+// returns the object's new version.
+func (c *HTTPClient) Append(bucket, key string, data []byte) (int64, error) {
+	resp, err := c.httpClient().Post(c.BaseURL+"/"+bucket+"/"+key,
+		"application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return 0, fmt.Errorf("blob: APPEND %s/%s: %s: %s", bucket, key, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return strconv.ParseInt(resp.Header.Get(VersionHeader), 10, 64)
+}
+
+// PutIf conditionally writes an object: the write lands only when the
+// stored version equals ifVersion (0 = must not exist). It returns the
+// new version, or ErrPreconditionFailed (wrapped) when the CAS lost.
+func (c *HTTPClient) PutIf(bucket, key string, data []byte, ifVersion int64) (int64, error) {
+	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/"+bucket+"/"+key, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("If-Match", strconv.FormatInt(ifVersion, 10))
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusPreconditionFailed {
+		cur, _ := strconv.ParseInt(resp.Header.Get(VersionHeader), 10, 64)
+		return cur, fmt.Errorf("%w: %s/%s at version %d, expected %d",
+			ErrPreconditionFailed, bucket, key, cur, ifVersion)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return 0, fmt.Errorf("blob: PUT-IF %s/%s: %s: %s", bucket, key, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return strconv.ParseInt(resp.Header.Get(VersionHeader), 10, 64)
+}
+
+// Stat reports an object's size and version via HEAD.
+func (c *HTTPClient) Stat(bucket, key string) (size, version int64, err error) {
+	resp, err := c.httpClient().Head(c.BaseURL + "/" + bucket + "/" + key)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return 0, 0, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucket, key)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("blob: HEAD %s/%s: %s", bucket, key, resp.Status)
+	}
+	size, _ = strconv.ParseInt(resp.Header.Get("Content-Length"), 10, 64)
+	version, _ = strconv.ParseInt(resp.Header.Get(VersionHeader), 10, 64)
+	return size, version, nil
 }
 
 // Delete removes an object.

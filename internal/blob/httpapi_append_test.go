@@ -1,0 +1,161 @@
+package blob
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPAppendRoundTrip(t *testing.T) {
+	c, store := newHTTPStore(t)
+	if err := c.CreateBucket("j"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Append("j", "log", []byte("a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("version = %d, want 1", v)
+	}
+	if v, err = c.Append("j", "log", []byte("b\n")); err != nil || v != 2 {
+		t.Fatalf("second append: v=%d err=%v", v, err)
+	}
+	got, err := store.GetConsistent("j", "log")
+	if err != nil || string(got) != "a\nb\n" {
+		t.Errorf("journal = %q (err %v)", got, err)
+	}
+	if _, err := c.Append("nope", "log", []byte("x")); err == nil {
+		t.Error("append to missing bucket should error")
+	}
+}
+
+func TestHTTPPutIfRoundTrip(t *testing.T) {
+	c, _ := newHTTPStore(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.PutIf("b", "k", []byte("v1"), 0)
+	if err != nil || v != 1 {
+		t.Fatalf("conditional create: v=%d err=%v", v, err)
+	}
+	// The CAS token from the first write wins the swap...
+	if v, err = c.PutIf("b", "k", []byte("v2"), v); err != nil || v != 2 {
+		t.Fatalf("swap: v=%d err=%v", v, err)
+	}
+	// ...and a stale token loses with the current version reported.
+	cur, err := c.PutIf("b", "k", []byte("v2b"), 1)
+	if !errors.Is(err, ErrPreconditionFailed) {
+		t.Fatalf("stale swap err = %v, want ErrPreconditionFailed", err)
+	}
+	if cur != 2 {
+		t.Errorf("reported current version = %d, want 2", cur)
+	}
+	if got, _ := c.Get("b", "k"); string(got) != "v2" {
+		t.Errorf("object = %q, want v2", got)
+	}
+}
+
+func TestHTTPStatReportsSizeAndVersion(t *testing.T) {
+	c, _ := newHTTPStore(t)
+	c.CreateBucket("b")
+	c.Put("b", "k", []byte("12345"))
+	c.Put("b", "k", []byte("123456789"))
+	size, version, err := c.Stat("b", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 9 || version != 2 {
+		t.Errorf("Stat = (%d, %d), want (9, 2)", size, version)
+	}
+	if _, _, err := c.Stat("b", "missing"); !errors.Is(err, ErrNoSuchKey) {
+		t.Errorf("Stat missing: %v", err)
+	}
+}
+
+func TestHTTPPutIfBadIfMatchHeader(t *testing.T) {
+	store := NewStore(Config{})
+	store.CreateBucket("b")
+	h := &HTTPHandler{Store: store}
+	req := httptest.NewRequest(http.MethodPut, "/b/k", strings.NewReader("x"))
+	req.Header.Set("If-Match", "not-a-number")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad If-Match = %d, want 400", rec.Code)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handler-level tests for the read endpoints that previously had none:
+// GET /{bucket}?prefix= (List) and HEAD /{bucket}/{key} (Exists/Stat).
+// ---------------------------------------------------------------------------
+
+func TestHTTPListHandlerLevel(t *testing.T) {
+	store := NewStore(Config{})
+	store.CreateBucket("b")
+	store.Put("b", "in-1", []byte("x"))
+	store.Put("b", "in-2", []byte("y"))
+	store.Put("b", "out-1", []byte("z"))
+	h := &HTTPHandler{Store: store}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/b?prefix=in-", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /b?prefix=in- = %d", rec.Code)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	if got := strings.TrimSpace(string(body)); got != "in-1\nin-2" {
+		t.Errorf("list body = %q", got)
+	}
+
+	// No prefix lists everything, sorted.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/b", nil))
+	body, _ = io.ReadAll(rec.Body)
+	if got := strings.TrimSpace(string(body)); got != "in-1\nin-2\nout-1" {
+		t.Errorf("unfiltered list body = %q", got)
+	}
+
+	// Missing bucket is a 404, not a 500 or an empty 200.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", rec.Code)
+	}
+}
+
+func TestHTTPExistsHandlerLevel(t *testing.T) {
+	store := NewStore(Config{})
+	store.CreateBucket("b")
+	store.Put("b", "k", []byte("abc"))
+	h := &HTTPHandler{Store: store}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, "/b/k", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HEAD /b/k = %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Length"); got != "3" {
+		t.Errorf("Content-Length = %q, want 3", got)
+	}
+	if got := rec.Header().Get(VersionHeader); got != "1" {
+		t.Errorf("%s = %q, want 1", VersionHeader, got)
+	}
+
+	// HEAD of a missing key and of a missing bucket both answer 404
+	// without a diagnostic body (HEAD carries none).
+	for _, path := range []string{"/b/missing", "/nope/k"} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("HEAD %s = %d, want 404", path, rec.Code)
+		}
+		if rec.Body.Len() != 0 {
+			t.Errorf("HEAD %s carried a body: %q", path, rec.Body.String())
+		}
+	}
+}

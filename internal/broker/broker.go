@@ -2,20 +2,31 @@
 // Classic Cloud runtime. The seed's model (queue + blob + independent
 // workers, Figure 1 of the paper) runs a fixed-size worker pool
 // launched once per run; this package supplies the missing half of the
-// paper's pitch — cloud *elasticity* with per-hour cost accounting:
+// paper's pitch — cloud *elasticity* with per-hour cost accounting —
+// and, following the paper's discipline of keeping all coordination
+// state in cloud storage, makes the broker itself crash-replaceable:
 //
 //   - Jobs (CAP3 / BLAST / GTM executors over file sets) are accepted
 //     long-running-service style and fanned into the scheduling queue
 //     and blob store via internal/classiccloud.
+//   - Every job lifecycle transition (submitted, planned, scaled
+//     up/down, task-settlement checkpoints, dead-lettered, completed,
+//     aborted) is an event appended to a per-job journal in the blob
+//     store (journal.go); in-memory job state is a fold over that
+//     journal (lifecycle.go), and a restarted brokerd replays the
+//     journals and re-adopts unfinished work (Recover).
 //   - An autoscaler loop grows and shrinks each job's instance fleet
 //     from observed queue depth and per-task throughput, with
-//     cooldowns and a max-fleet cap (AutoscalePolicy).
+//     cooldowns and a max-fleet cap (AutoscalePolicy); scale-ups are
+//     granted from a broker-wide instance budget by deficit-weighted
+//     fair share across tenants (scheduler.go).
 //   - Instance selection is cost-aware: the broker consults the
 //     internal/cloud price catalog and the calibrated perfmodel to
 //     pick the cheapest instance type meeting a target makespan.
 //   - Fleet time is billed in per-hour increments exactly as the paper
-//     prices its runs, and every job closes with a cost report
-//     comparing the elastic fleet against a fixed max-size fleet.
+//     prices its runs, from the journaled ledger, so billing survives
+//     broker restarts; every job closes with a cost report comparing
+//     the elastic fleet against a fixed max-size fleet.
 //   - Poison tasks are retried up to a receive cap and then parked on
 //     a per-job dead-letter queue; worker crashes and spot
 //     preemptions are recovered through the queue's visibility
@@ -25,17 +36,19 @@ package broker
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/blob"
 	"repro/internal/classiccloud"
 	"repro/internal/cloud"
-	"repro/internal/metrics"
-	"repro/internal/perfmodel"
-	"repro/internal/queue"
 )
+
+// DisableJournal as Config.JournalBucket turns event journaling off:
+// jobs are memory-only and a broker restart loses them (the pre-journal
+// behaviour, useful for benchmarking the journal's overhead).
+const DisableJournal = "-"
 
 // Config tunes the broker. Zero values select defaults.
 type Config struct {
@@ -66,6 +79,18 @@ type Config struct {
 	// DefaultInstance is used when a job has no target makespan
 	// (default Azure Small, the paper's most economical Cap3 choice).
 	DefaultInstance cloud.InstanceType
+	// JournalBucket names the blob bucket holding per-job event
+	// journals and the shared data staged for recovery (default
+	// "broker-journal"; DisableJournal turns journaling off).
+	JournalBucket string
+	// TenantQuotas caps each tenant's running instances across all its
+	// jobs. Tenants absent from the map are uncapped but still compete
+	// for FleetBudget with weight 1.
+	TenantQuotas map[string]int
+	// FleetBudget caps running instances across ALL tenants; scale-ups
+	// draw on it by deficit-weighted fair share. 0 selects the sum of
+	// TenantQuotas when quotas are configured, else unlimited.
+	FleetBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,8 +118,14 @@ func (c Config) withDefaults() Config {
 	if c.DefaultInstance.Name == "" {
 		c.DefaultInstance = cloud.AzureSmall
 	}
+	if c.JournalBucket == "" {
+		c.JournalBucket = "broker-journal"
+	}
 	return c
 }
+
+// journalEnabled reports whether event journaling is on.
+func (c Config) journalEnabled() bool { return c.JournalBucket != DisableJournal }
 
 // Errors returned by the broker.
 var (
@@ -104,11 +135,17 @@ var (
 	ErrNoFiles    = errors.New("broker: job has no input files")
 )
 
+// DefaultTenant attributes jobs submitted without a tenant.
+const DefaultTenant = "default"
+
 // JobRequest describes one submission.
 type JobRequest struct {
 	// App names an executor factory in the registry ("cap3", "blast",
 	// "gtm").
 	App string `json:"app"`
+	// Tenant attributes the job for quota and fair-share scheduling
+	// (default "default").
+	Tenant string `json:"tenant,omitempty"`
 	// Files are the input file set, one task per file.
 	Files map[string][]byte `json:"files"`
 	// Shared is app shared data staged before workers start (BLAST
@@ -126,70 +163,10 @@ type JobRequest struct {
 	InjectCrashes int `json:"inject_crashes,omitempty"`
 }
 
-// JobState is a job's lifecycle phase.
-type JobState string
-
-// Job lifecycle states.
-const (
-	StateRunning   JobState = "running"
-	StateCompleted JobState = "completed"
-	// StateAborted marks a job shut down (Broker.Close) before every
-	// task settled; outputs are partial.
-	StateAborted JobState = "aborted"
-)
-
-// fleetInstance is one launched instance plus its billing record.
-type fleetInstance struct {
-	inst      *classiccloud.Instance
-	launched  time.Time
-	stopped   time.Time // zero while running
-	preempted bool
-}
-
-// Job is one submission's full lifecycle: queues, fleet, ledger.
-type Job struct {
-	ID  string
-	App string
-
-	broker *Broker
-	cc     *classiccloud.Client
-	ccCfg  classiccloud.Config
-	exec   classiccloud.Executor
-	policy AutoscalePolicy
-	itype  cloud.InstanceType
-	// plan holds the cost-aware selection when a target makespan was
-	// requested.
-	plan *perfmodel.Selection
-
-	tasks       []classiccloud.Task
-	crashBudget atomic.Int64
-
-	stop chan struct{}
-	// finished is closed exactly once, when the job reaches a terminal
-	// state (completed or aborted), so Wait blocks on a channel instead
-	// of polling in a sleep loop.
-	finished chan struct{}
-
-	mu            sync.Mutex
-	state         JobState
-	started       time.Time
-	finishedAt    time.Time
-	done          map[string]bool
-	dead          map[string]bool
-	dups          int
-	fleet         []*fleetInstance
-	events        []ScalingEvent
-	lastUp        time.Time
-	lastDown      time.Time
-	lastTick      time.Time
-	lastDoneCount int
-	throughput    float64 // tasks/sec/instance, smoothed
-	stopWG        sync.WaitGroup
-}
-
 // Broker is the long-running elastic job service.
 type Broker struct {
-	cfg Config
+	cfg   Config
+	sched *scheduler
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -199,13 +176,48 @@ type Broker struct {
 	wg     sync.WaitGroup
 }
 
-// New creates a broker over the given environment.
+// New creates a broker over the given environment. The journal bucket
+// is created (idempotently) up front so submissions and recovery can
+// append to it immediately.
 func New(cfg Config) *Broker {
-	return &Broker{cfg: cfg.withDefaults(), jobs: make(map[string]*Job)}
+	cfg = cfg.withDefaults()
+	b := &Broker{
+		cfg:   cfg,
+		sched: newScheduler(cfg.TenantQuotas, cfg.FleetBudget),
+		jobs:  make(map[string]*Job),
+	}
+	if cfg.journalEnabled() && cfg.Env.Blob != nil {
+		// Best-effort: an unusable journal bucket surfaces per-submission,
+		// where there is an error path to report it on.
+		_ = cfg.Env.Blob.CreateBucket(cfg.JournalBucket)
+	}
+	return b
 }
 
-// Submit accepts a job: stages inputs, plans the fleet, launches the
-// minimum instances, and starts the job's autoscaler loop.
+// journalFor returns the job's journal handle (nil when disabled).
+func (b *Broker) journalFor(jobID string) *journal {
+	if !b.cfg.journalEnabled() {
+		return nil
+	}
+	return &journal{store: b.cfg.Env.Blob, bucket: b.cfg.JournalBucket, key: journalKey(jobID)}
+}
+
+// ccConfigFor derives a job's Classic Cloud deployment config; it is a
+// pure function of the job ID and broker config, so a recovering broker
+// reattaches to exactly the queues the dead one used.
+func (b *Broker) ccConfigFor(jobID string) classiccloud.Config {
+	return classiccloud.Config{
+		JobName:           jobID,
+		VisibilityTimeout: b.cfg.VisibilityTimeout,
+		PollInterval:      b.cfg.PollInterval,
+		MaxReceives:       b.cfg.MaxReceives,
+		DeadLetterQueue:   jobID + "-dead",
+	}
+}
+
+// Submit accepts a job: stages inputs, plans the fleet, journals the
+// submission, launches the initial fleet through the fair-share
+// scheduler, and starts the job's control loop.
 func (b *Broker) Submit(req JobRequest) (*Job, error) {
 	if len(req.Files) == 0 {
 		return nil, ErrNoFiles
@@ -217,6 +229,10 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 	exec, err := factory(req.Shared)
 	if err != nil {
 		return nil, err
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
 	}
 
 	b.mu.Lock()
@@ -237,19 +253,20 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 	j := &Job{
 		ID:       id,
 		App:      req.App,
+		Tenant:   tenant,
 		broker:   b,
 		exec:     exec,
 		policy:   policy,
 		itype:    b.cfg.DefaultInstance,
+		jl:       b.journalFor(id),
 		stop:     make(chan struct{}),
 		finished: make(chan struct{}),
-		state:    StateRunning,
-		done:     make(map[string]bool),
-		dead:     make(map[string]bool),
+		insts:    make(map[int]*classiccloud.Instance),
 	}
 	j.crashBudget.Store(int64(req.InjectCrashes))
 
 	// Cost-aware instance selection against the calibrated model.
+	var planned *perfSelection
 	if req.TargetMakespan > 0 {
 		if model, ok := planningModel(req.App); ok {
 			sel, ok := PlanFleet(model, len(req.Files), req.TargetMakespan,
@@ -257,6 +274,7 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 			if ok {
 				j.plan = &sel
 				j.itype = sel.InstanceType()
+				planned = &perfSelection{instances: sel.Instances(), meets: sel.MeetsTarget}
 				if n := sel.Instances(); n < j.policy.MaxInstances {
 					// The plan already meets the deadline with n
 					// instances; cap the fleet there and let observed
@@ -270,16 +288,19 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 		}
 	}
 
-	j.ccCfg = classiccloud.Config{
-		JobName:           id,
-		VisibilityTimeout: b.cfg.VisibilityTimeout,
-		PollInterval:      b.cfg.PollInterval,
-		MaxReceives:       b.cfg.MaxReceives,
-		DeadLetterQueue:   id + "-dead",
-	}
+	j.ccCfg = b.ccConfigFor(id)
 	if req.InjectCrashes > 0 {
 		j.ccCfg.CrashBeforeDelete = func(int, classiccloud.Task) bool {
 			return j.crashBudget.Add(-1) >= 0
+		}
+	}
+	// Refuse the ID before touching any queue if another broker's
+	// journal already owns it (a restart that skipped Recover): staging
+	// into the dead job's queues would corrupt recoverable state. The
+	// exclusive journal create below closes the remaining race window.
+	if j.jl != nil {
+		if _, _, err := b.cfg.Env.Blob.Stat(b.cfg.JournalBucket, journalKey(id)); err == nil {
+			return nil, fmt.Errorf("broker: journal for %s already exists (restarted without Recover?)", id)
 		}
 	}
 	j.cc = classiccloud.NewClient(b.cfg.Env, j.ccCfg)
@@ -291,26 +312,74 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 		return nil, err
 	}
 	j.tasks = tasks
-	j.started = time.Now()
-	j.lastTick = j.started
+
+	// Make the job durable: stage shared data for executor rebuild, then
+	// open the journal with the submission event. A job only exists once
+	// its journal says so.
+	if j.jl != nil {
+		for name, data := range req.Shared {
+			if err := b.cfg.Env.Blob.Put(b.cfg.JournalBucket, sharedKey(id, name), data); err != nil {
+				b.removeJobResources(j.ccCfg)
+				b.removeJobJournal(id)
+				return nil, fmt.Errorf("broker: staging shared data for recovery: %w", err)
+			}
+		}
+	}
+	taskIDs := make([]string, len(tasks))
+	for i, t := range tasks {
+		taskIDs[i] = t.ID
+	}
+	j.mu.Lock()
+	err = j.recordLocked(Event{
+		Type: EvSubmitted, Time: time.Now(),
+		App: req.App, Tenant: tenant, TaskIDs: taskIDs,
+		Provider: string(j.itype.Provider), Instance: j.itype.Name,
+		Policy: &j.policy,
+	})
+	if err == nil && planned != nil {
+		err = j.recordLocked(Event{
+			Type: EvPlanned, Time: time.Now(),
+			PlannedInstances: planned.instances, PlanMeetsTarget: planned.meets,
+			Provider: string(j.itype.Provider), Instance: j.itype.Name,
+		})
+	}
+	j.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, blob.ErrPreconditionFailed) {
+			// Lost the create race to another broker's journal: the
+			// queues and journal belong to that job now — touch nothing.
+			return nil, err
+		}
+		// The journal may hold a half-open submission (EvSubmitted
+		// landed, EvPlanned failed): delete it along with the queues so
+		// a later Recover does not adopt a zombie job.
+		b.removeJobResources(j.ccCfg)
+		b.removeJobJournal(id)
+		return nil, err
+	}
+	j.lastTick = time.Now()
 
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		// The broker closed while we were staging: tear the job's
-		// queues and buckets back down so the shared environment is
-		// not left with orphaned task messages no worker will drain.
+		// queues, buckets, and journal back down so the shared
+		// environment is not left with orphaned task messages no worker
+		// will drain — nor a running-state journal no broker owns,
+		// which Recover would adopt as a phantom job.
 		b.removeJobResources(j.ccCfg)
+		b.removeJobJournal(id)
 		return nil, ErrClosed
 	}
 	b.jobs[id] = j
 	b.order = append(b.order, id)
 	b.wg.Add(1)
 	b.mu.Unlock()
+	b.sched.jobStarted(tenant)
 
 	// Launch the floor fleet immediately; the loop grows it from there.
 	j.mu.Lock()
-	j.scaleTo(j.policy.MinInstances, "initial fleet")
+	j.scaleUpLocked(j.policy.MinInstances, "initial fleet")
 	j.mu.Unlock()
 
 	go func() {
@@ -318,6 +387,200 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 		j.run()
 	}()
 	return j, nil
+}
+
+// perfSelection carries the planned fleet into the journal.
+type perfSelection struct {
+	instances int
+	meets     bool
+}
+
+// Recover replays every journal in the journal bucket and re-adopts the
+// jobs it finds: terminal jobs are registered read-only (status, cost,
+// outputs stay queryable), and running jobs are re-attached to their
+// task and monitor queues — without re-submitting any work — their
+// autoscaler loops resumed, and their billing continued from the
+// journaled ledger. Instances of the dead broker process are orphaned
+// at adoption time; in-flight tasks they held reappear via the queue's
+// visibility timeout, the paper's own fault-tolerance mechanism. It
+// returns the number of running jobs re-adopted.
+func (b *Broker) Recover() (int, error) {
+	if !b.cfg.journalEnabled() {
+		return 0, nil
+	}
+	ids, err := listJournaledJobs(b.cfg.Env.Blob, b.cfg.JournalBucket)
+	if err != nil {
+		return 0, fmt.Errorf("broker: listing journals: %w", err)
+	}
+	adopted := 0
+	var firstErr error
+	for _, id := range ids {
+		b.mu.Lock()
+		_, exists := b.jobs[id]
+		closed := b.closed
+		b.mu.Unlock()
+		if exists || closed {
+			continue
+		}
+		live, err := b.adoptJob(id)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("broker: adopting %s: %w", id, err)
+		}
+		if live {
+			adopted++
+		}
+	}
+	return adopted, firstErr
+}
+
+// adoptJob rebuilds one job from its journal. It reports whether the
+// job resumed running (as opposed to being registered terminal).
+func (b *Broker) adoptJob(id string) (bool, error) {
+	events, err := readJournal(b.cfg.Env.Blob, b.cfg.JournalBucket, id)
+	if err != nil {
+		return false, err
+	}
+	rec, err := foldJournal(id, events)
+	if err != nil {
+		return false, err
+	}
+
+	j := &Job{
+		ID:       id,
+		App:      rec.App,
+		Tenant:   rec.Tenant,
+		broker:   b,
+		policy:   rec.Policy.withDefaults(),
+		itype:    resolveInstanceType(rec.Provider, rec.Instance, b.cfg.Catalog, b.cfg.DefaultInstance),
+		jl:       b.journalFor(id),
+		stop:     make(chan struct{}),
+		finished: make(chan struct{}),
+		insts:    make(map[int]*classiccloud.Instance),
+		core:     *rec,
+	}
+	j.ccCfg = b.ccConfigFor(id)
+	j.cc = classiccloud.NewClient(b.cfg.Env, j.ccCfg)
+
+	if rec.State != StateRunning {
+		// Terminal: register for queryability; no loops, no fleet.
+		j.tasks = j.ccCfg.TasksFromIDs(rec.TaskIDs)
+		close(j.finished)
+		b.register(j)
+		return false, nil
+	}
+
+	// Rebuild the executor from the shared data staged at submission.
+	factory, ok := b.cfg.Registry[rec.App]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownApp, rec.App)
+	}
+	shared, err := b.loadShared(id)
+	if err != nil {
+		return false, err
+	}
+	exec, err := factory(shared)
+	if err != nil {
+		return false, err
+	}
+	j.exec = exec
+
+	// Re-attach to the job's queues: messages keep their receive counts
+	// and leases; nothing is re-uploaded or re-enqueued.
+	tasks, err := j.cc.Reattach(rec.TaskIDs)
+	if err != nil {
+		return false, err
+	}
+	j.tasks = tasks
+
+	// The adoption event is the recovery point: it orphans the dead
+	// process's instances in the ledger (billing them to now) and resets
+	// the cooldown clocks.
+	j.mu.Lock()
+	err = j.recordLocked(Event{Type: EvAdopted, Time: time.Now()})
+	j.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	j.lastTick = time.Now()
+	j.lastDoneCount = len(j.core.Done)
+
+	// Registration, the closed re-check, and the WaitGroup reservation
+	// are one atomic step: a Close that has already passed its jobs
+	// snapshot (and may be inside wg.Wait) must not gain a job it will
+	// never stop.
+	b.mu.Lock()
+	if b.closed {
+		// Close raced the adoption: the job stays un-adopted (its
+		// journal is untouched; the next broker recovers it).
+		b.mu.Unlock()
+		return false, nil
+	}
+	b.registerLocked(j)
+	b.wg.Add(1)
+	b.mu.Unlock()
+	b.sched.jobStarted(j.Tenant)
+	j.mu.Lock()
+	j.scaleUpLocked(j.policy.MinInstances, "recovery fleet")
+	j.mu.Unlock()
+	go func() {
+		defer b.wg.Done()
+		j.run()
+	}()
+	return true, nil
+}
+
+// register adds a job to the index and keeps nextID ahead of every
+// adopted ID so new submissions never collide.
+func (b *Broker) register(j *Job) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.registerLocked(j)
+}
+
+func (b *Broker) registerLocked(j *Job) {
+	b.jobs[j.ID] = j
+	b.order = append(b.order, j.ID)
+	var n int
+	if _, err := fmt.Sscanf(j.ID, "job-%d", &n); err == nil && n > b.nextID {
+		b.nextID = n
+	}
+}
+
+// loadShared reads back a job's staged shared data.
+func (b *Broker) loadShared(jobID string) (map[string][]byte, error) {
+	prefix := journalSharedPrefix + jobID + "/"
+	keys, err := b.cfg.Env.Blob.List(b.cfg.JournalBucket, prefix)
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	shared := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		data, err := b.cfg.Env.Blob.GetConsistent(b.cfg.JournalBucket, k)
+		if err != nil {
+			return nil, err
+		}
+		shared[strings.TrimPrefix(k, prefix)] = data
+	}
+	return shared, nil
+}
+
+// removeJobJournal best-effort deletes a job's journal object and
+// staged shared data — used on Submit failure paths after the journal
+// was opened, so an abandoned submission cannot be adopted later.
+func (b *Broker) removeJobJournal(id string) {
+	if !b.cfg.journalEnabled() {
+		return
+	}
+	store := b.cfg.Env.Blob
+	_ = store.Delete(b.cfg.JournalBucket, journalKey(id))
+	if keys, err := store.List(b.cfg.JournalBucket, journalSharedPrefix+id+"/"); err == nil {
+		for _, k := range keys {
+			_ = store.Delete(b.cfg.JournalBucket, k)
+		}
+	}
 }
 
 // removeJobResources best-effort deletes a job's queues and buckets
@@ -361,9 +624,10 @@ func (b *Broker) FleetSize() int {
 	return n
 }
 
-// Close stops every job's autoscaler loop and fleet, and rejects
-// further submissions.
-func (b *Broker) Close() {
+// stopAll marks the broker closed, applies stop to every job, and
+// waits for all control loops to exit — the shared teardown of Close
+// and Halt.
+func (b *Broker) stopAll(stop func(*Job)) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -377,447 +641,20 @@ func (b *Broker) Close() {
 	}
 	b.mu.Unlock()
 	for _, j := range jobs {
-		j.shutdown()
+		stop(j)
 	}
 	b.wg.Wait()
 }
 
-// run is the job's control loop: drain the monitor queue, observe the
-// task queue, autoscale, detect completion.
-func (j *Job) run() {
-	ticker := time.NewTicker(j.broker.cfg.TickInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-j.stop:
-			return
-		case <-ticker.C:
-		}
-		j.drainMonitor()
-		if j.maybeComplete() {
-			return
-		}
-		j.autoscaleTick()
-	}
-}
+// Close stops every job's autoscaler loop and fleet, and rejects
+// further submissions. Unfinished jobs are journaled as aborted.
+func (b *Broker) Close() { b.stopAll((*Job).shutdown) }
 
-// drainMonitor consumes every waiting completion report, a batch at a
-// time: one receive plus one delete request per ten reports instead of
-// one of each per report.
-func (j *Job) drainMonitor() {
-	svc := j.broker.cfg.Env.Queue
-	qn := j.ccCfg.MonitorQueue()
-	for {
-		msgs, err := svc.ReceiveMessageBatch(qn, time.Minute, queue.MaxBatch, 0)
-		if err != nil || len(msgs) == 0 {
-			return
-		}
-		receipts := make([]string, len(msgs))
-		for i, m := range msgs {
-			receipts[i] = m.ReceiptHandle
-		}
-		results, err := svc.DeleteMessageBatch(qn, receipts)
-		if err != nil {
-			return
-		}
-		j.mu.Lock()
-		for i, m := range msgs {
-			if results[i] != nil {
-				// Redelivered report: it was or will be counted under its
-				// authoritative receipt.
-				continue
-			}
-			st, id, perr := classiccloud.ParseMonitorMessage(m.Body)
-			if perr != nil || id == "" {
-				continue
-			}
-			switch st {
-			case classiccloud.StatusDead:
-				j.dead[id] = true
-			default:
-				if j.done[id] {
-					j.dups++
-				}
-				j.done[id] = true
-			}
-		}
-		j.mu.Unlock()
-	}
-}
-
-// deadOnlyLocked counts dead-lettered tasks that never completed
-// (completion wins when a task lands in both maps, so counts sum to
-// the task total). Caller holds j.mu.
-func (j *Job) deadOnlyLocked() int {
-	n := 0
-	for id := range j.dead {
-		if !j.done[id] {
-			n++
-		}
-	}
-	return n
-}
-
-// settledLocked counts tasks with a terminal status (done or dead).
-func (j *Job) settledLocked() int {
-	return len(j.done) + j.deadOnlyLocked()
-}
-
-// maybeComplete finishes the job once every task is settled: retires
-// the fleet, stamps the end time.
-func (j *Job) maybeComplete() bool {
-	j.mu.Lock()
-	if j.settledLocked() < len(j.tasks) {
-		j.mu.Unlock()
-		return false
-	}
-	j.finishedAt = time.Now()
-	j.state = StateCompleted
-	j.scaleTo(0, "job complete")
-	close(j.finished)
-	j.mu.Unlock()
-	j.stopWG.Wait()
-	return true
-}
-
-// autoscaleTick observes the queues and applies one policy decision.
-func (j *Job) autoscaleTick() {
-	env := j.broker.cfg.Env
-	visible, inflight, err := env.Queue.ApproximateCount(j.ccCfg.TaskQueue())
-	if err != nil {
-		return
-	}
-	now := time.Now()
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.state != StateRunning {
-		// Shutdown raced with this tick; never grow a retired fleet.
-		return
-	}
-	fleet := j.fleetSizeLocked()
-	// Observed per-instance throughput, exponentially smoothed.
-	if dt := now.Sub(j.lastTick).Seconds(); dt > 0 && fleet > 0 {
-		rate := float64(len(j.done)-j.lastDoneCount) / dt / float64(fleet)
-		const alpha = 0.5
-		j.throughput = alpha*rate + (1-alpha)*j.throughput
-	}
-	j.lastDoneCount = len(j.done)
-	j.lastTick = now
-
-	d := j.policy.Decide(Observation{
-		Now:                   now,
-		Visible:               visible,
-		InFlight:              inflight,
-		Fleet:                 fleet,
-		ThroughputPerInstance: j.throughput,
-		LastScaleUp:           j.lastUp,
-		LastScaleDown:         j.lastDown,
-	})
-	if d.Delta == 0 {
-		return
-	}
-	j.scaleTo(fleet+d.Delta, d.Reason)
-}
-
-// scaleTo launches or retires instances until the running count is n.
-// Caller holds j.mu.
-func (j *Job) scaleTo(n int, reason string) {
-	now := time.Now()
-	fleet := j.fleetSizeLocked()
-	for fleet < n {
-		inst, err := classiccloud.StartInstance(j.broker.cfg.Env, j.ccCfg, j.exec,
-			j.broker.cfg.WorkersPerInstance)
-		if err != nil {
-			// Factory preload failures already surfaced at Submit;
-			// treat launch failure as a skipped tick.
-			return
-		}
-		j.fleet = append(j.fleet, &fleetInstance{inst: inst, launched: now})
-		fleet++
-		j.lastUp = now
-		j.events = append(j.events, ScalingEvent{
-			Time: now, Action: "launch", Delta: +1, Fleet: fleet, Reason: reason,
-		})
-	}
-	for fleet > n {
-		fi := j.newestRunningLocked()
-		if fi == nil {
-			return
-		}
-		fi.stopped = now
-		fleet--
-		j.lastDown = now
-		j.events = append(j.events, ScalingEvent{
-			Time: now, Action: "stop", Delta: -1, Fleet: fleet, Reason: reason,
-		})
-		j.stopWG.Add(1)
-		go func() {
-			defer j.stopWG.Done()
-			fi.inst.Stop() // graceful: current tasks finish and ack
-		}()
-	}
-}
-
-// newestRunningLocked returns the most recently launched running
-// instance (LIFO retirement keeps the longest-running instances warm).
-func (j *Job) newestRunningLocked() *fleetInstance {
-	for i := len(j.fleet) - 1; i >= 0; i-- {
-		if j.fleet[i].stopped.IsZero() {
-			return j.fleet[i]
-		}
-	}
-	return nil
-}
-
-// Preempt simulates a spot-instance reclaim: one running instance is
-// killed mid-task, abandoning un-acknowledged work to the visibility
-// timeout. It reports whether an instance was available to preempt.
-func (j *Job) Preempt() bool {
-	now := time.Now()
-	j.mu.Lock()
-	fi := j.newestRunningLocked()
-	if fi == nil {
-		j.mu.Unlock()
-		return false
-	}
-	fi.stopped = now
-	fi.preempted = true
-	fleet := j.fleetSizeLocked()
-	j.lastDown = now
-	j.events = append(j.events, ScalingEvent{
-		Time: now, Action: "preempt", Delta: -1, Fleet: fleet, Reason: "spot reclaim",
-	})
-	j.stopWG.Add(1)
-	j.mu.Unlock()
-	go func() {
-		defer j.stopWG.Done()
-		fi.inst.Kill()
-	}()
-	return true
-}
-
-func (j *Job) fleetSize() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.fleetSizeLocked()
-}
-
-func (j *Job) fleetSizeLocked() int {
-	n := 0
-	for _, fi := range j.fleet {
-		if fi.stopped.IsZero() {
-			n++
-		}
-	}
-	return n
-}
-
-// shutdown stops the control loop and the fleet (used by Broker.Close
-// on jobs that have not completed).
-func (j *Job) shutdown() {
-	j.mu.Lock()
-	select {
-	case <-j.stop:
-	default:
-		close(j.stop)
-	}
-	if j.state == StateRunning {
-		// Not a completion: tasks may still be unsettled, and callers
-		// waiting on the job must see the abort, not a success.
-		j.state = StateAborted
-		j.finishedAt = time.Now()
-		j.scaleTo(0, "broker shutdown")
-		close(j.finished)
-	}
-	j.mu.Unlock()
-	j.stopWG.Wait()
-}
-
-// Wait blocks until the job completes or the timeout expires. An
-// aborted job (broker shut down mid-run) returns an error: its
-// outputs are partial. Completion is signalled on a channel, so Wait
-// wakes the instant the job settles instead of polling on a fraction
-// of the autoscaler tick.
-func (j *Job) Wait(timeout time.Duration) error {
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case <-j.finished:
-	case <-timer.C:
-		// Both channels may be ready; a finished job is never a timeout.
-		select {
-		case <-j.finished:
-		default:
-			j.mu.Lock()
-			settled, total := j.settledLocked(), len(j.tasks)
-			j.mu.Unlock()
-			return fmt.Errorf("broker: job %s timeout with %d/%d tasks settled", j.ID, settled, total)
-		}
-	}
-	j.mu.Lock()
-	state, settled, total := j.state, j.settledLocked(), len(j.tasks)
-	j.mu.Unlock()
-	if state == StateAborted {
-		return fmt.Errorf("broker: job %s aborted with %d/%d tasks settled", j.ID, settled, total)
-	}
-	return nil
-}
-
-// Status is a point-in-time job summary.
-type Status struct {
-	ID           string   `json:"id"`
-	App          string   `json:"app"`
-	State        JobState `json:"state"`
-	InstanceType string   `json:"instance_type"`
-	Total        int      `json:"total"`
-	Done         int      `json:"done"`
-	Dead         int      `json:"dead"`
-	Duplicates   int      `json:"duplicates"`
-	Fleet        int      `json:"fleet"`
-	Elapsed      string   `json:"elapsed"`
-	// PlannedInstances and PlanMeetsTarget report the cost-aware
-	// selection when a target makespan was requested.
-	PlannedInstances int  `json:"planned_instances,omitempty"`
-	PlanMeetsTarget  bool `json:"plan_meets_target,omitempty"`
-}
-
-// Status snapshots the job.
-func (j *Job) Status() Status {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	deadOnly := j.deadOnlyLocked()
-	elapsed := time.Since(j.started)
-	if !j.finishedAt.IsZero() {
-		elapsed = j.finishedAt.Sub(j.started)
-	}
-	s := Status{
-		ID:           j.ID,
-		App:          j.App,
-		State:        j.state,
-		InstanceType: fmt.Sprintf("%s/%s", j.itype.Provider, j.itype.Name),
-		Total:        len(j.tasks),
-		Done:         len(j.done),
-		Dead:         deadOnly,
-		Duplicates:   j.dups,
-		Fleet:        j.fleetSizeLocked(),
-		Elapsed:      elapsed.Round(time.Millisecond).String(),
-	}
-	if j.plan != nil {
-		s.PlannedInstances = j.plan.Instances()
-		s.PlanMeetsTarget = j.plan.MeetsTarget
-	}
-	return s
-}
-
-// Events returns a copy of the scaling event log.
-func (j *Job) Events() []ScalingEvent {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return append([]ScalingEvent(nil), j.events...)
-}
-
-// DeadLetters returns the IDs of dead-lettered tasks.
-func (j *Job) DeadLetters() []string {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	out := make([]string, 0, len(j.dead))
-	for id := range j.dead {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// CostReport prices the job's fleet in the paper's hour-unit
-// convention and compares it against a fixed fleet of MaxInstances
-// held for the whole job.
-type CostReport struct {
-	InstanceType  string  `json:"instance_type"`
-	Launches      int     `json:"launches"`
-	Preemptions   int     `json:"preemptions"`
-	HourUnits     float64 `json:"hour_units"`
-	ComputeCost   float64 `json:"compute_cost_usd"`
-	AmortizedCost float64 `json:"amortized_cost_usd"`
-	QueueRequests int64   `json:"queue_requests"`
-	QueueCost     float64 `json:"queue_cost_usd"`
-	Elapsed       string  `json:"elapsed"`
-	Utilization   float64 `json:"utilization"`
-	TasksPerUSD   float64 `json:"tasks_per_usd"`
-	// Fixed-fleet baseline: MaxInstances instances for the whole job,
-	// billed in the same hour units.
-	FixedFleet       int     `json:"fixed_fleet"`
-	FixedHourUnits   float64 `json:"fixed_hour_units"`
-	FixedComputeCost float64 `json:"fixed_compute_cost_usd"`
-}
-
-// CostReport computes the job's bill so far (final once completed).
-func (j *Job) CostReport() CostReport {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	now := time.Now()
-	end := j.finishedAt
-	if end.IsZero() {
-		end = now
-	}
-	var hourUnits, amortized float64
-	var busy, allocated time.Duration
-	preempts := 0
-	for _, fi := range j.fleet {
-		stop := fi.stopped
-		if stop.IsZero() {
-			stop = now
-		}
-		life := stop.Sub(fi.launched)
-		bill := cloud.ComputeBill(j.itype, 1, life)
-		hourUnits += bill.HourUnits
-		amortized += bill.Amortized
-		busy += time.Duration(fi.inst.Stats().BusyNanos.Load())
-		allocated += life * time.Duration(j.broker.cfg.WorkersPerInstance)
-		if fi.preempted {
-			preempts++
-		}
-	}
-	elapsed := end.Sub(j.started)
-	fixedBill := cloud.ComputeBill(j.itype, j.policy.MaxInstances, elapsed)
-	// Bill only this job's queues: the service-wide counter would
-	// cross-charge concurrent jobs' traffic.
-	svc := j.broker.cfg.Env.Queue
-	queueReq := svc.APIRequestsFor(j.ccCfg.TaskQueue()) +
-		svc.APIRequestsFor(j.ccCfg.MonitorQueue()) +
-		svc.APIRequestsFor(j.ccCfg.DeadLetterQueue)
-	rates := cloud.AWSRates
-	if j.itype.Provider == cloud.Azure {
-		rates = cloud.AzureRates
-	}
-	computeCost := hourUnits * j.itype.CostPerHour
-	queueCost := rates.ServiceCost(int(queueReq), 0, 0, 0)
-	return CostReport{
-		InstanceType:     fmt.Sprintf("%s/%s", j.itype.Provider, j.itype.Name),
-		Launches:         len(j.fleet),
-		Preemptions:      preempts,
-		HourUnits:        hourUnits,
-		ComputeCost:      computeCost,
-		AmortizedCost:    amortized,
-		QueueRequests:    queueReq,
-		QueueCost:        queueCost,
-		Elapsed:          elapsed.Round(time.Millisecond).String(),
-		Utilization:      metrics.FleetUtilization(busy, allocated),
-		TasksPerUSD:      metrics.TasksPerDollar(len(j.done), computeCost+queueCost),
-		FixedFleet:       j.policy.MaxInstances,
-		FixedHourUnits:   fixedBill.HourUnits,
-		FixedComputeCost: fixedBill.ComputeCost,
-	}
-}
-
-// CollectOutputs downloads the outputs of completed tasks.
-func (j *Job) CollectOutputs() (map[string][]byte, error) {
-	j.mu.Lock()
-	var completed []classiccloud.Task
-	for _, t := range j.tasks {
-		if j.done[t.ID] {
-			completed = append(completed, t)
-		}
-	}
-	j.mu.Unlock()
-	return j.cc.CollectOutputs(completed)
-}
+// Halt hard-stops the broker the way a crash would: control loops stop,
+// fleets are killed mid-task (their leases expire via the visibility
+// timeout), and — unlike Close — nothing is journaled and no job
+// transitions to aborted. A Halt()ed broker's journals are
+// indistinguishable from a kill -9's, which is exactly what crash
+// recovery tests need. A fresh Broker over the same environment can
+// Recover() everything.
+func (b *Broker) Halt() { b.stopAll((*Job).halt) }

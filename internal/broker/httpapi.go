@@ -21,8 +21,10 @@ import (
 //	GET  /jobs/{id}/cost           cost report (elastic vs fixed fleet)
 //	GET  /jobs/{id}/deadletters    dead-lettered task IDs
 //	GET  /jobs/{id}/outputs        completed task outputs (JSON map)
+//	GET  /jobs/{id}/journal        full event journal (admin/debug)
 //	POST /jobs/{id}/preempt        kill one instance (spot reclaim)
 //	GET  /fleet                    broker-wide fleet size
+//	GET  /tenants                  per-tenant fleet/billing attribution
 type HTTPHandler struct {
 	Broker *Broker
 }
@@ -30,6 +32,7 @@ type HTTPHandler struct {
 // wireJobRequest is JobRequest with a string duration for transport.
 type wireJobRequest struct {
 	App            string            `json:"app"`
+	Tenant         string            `json:"tenant,omitempty"`
 	Files          map[string][]byte `json:"files"`
 	Shared         map[string][]byte `json:"shared,omitempty"`
 	TargetMakespan string            `json:"target_makespan,omitempty"`
@@ -42,6 +45,8 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/fleet":
 		h.serveFleet(w, r)
+	case r.URL.Path == "/tenants":
+		h.serveTenants(w, r)
 	case r.URL.Path == "/jobs":
 		h.serveJobs(w, r)
 	default:
@@ -67,6 +72,14 @@ func (h *HTTPHandler) serveFleet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int{"fleet": h.Broker.FleetSize()})
 }
 
+func (h *HTTPHandler) serveTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, h.Broker.TenantReport())
+}
+
 func (h *HTTPHandler) serveJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
@@ -77,6 +90,7 @@ func (h *HTTPHandler) serveJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		req := JobRequest{
 			App:           wreq.App,
+			Tenant:        wreq.Tenant,
 			Files:         wreq.Files,
 			Shared:        wreq.Shared,
 			Autoscale:     wreq.Autoscale,
@@ -135,6 +149,13 @@ func (h *HTTPHandler) serveJob(w http.ResponseWriter, r *http.Request, id, sub s
 			return
 		}
 		writeJSON(w, outs)
+	case sub == "journal" && r.Method == http.MethodGet:
+		events, err := j.Journal()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, events)
 	case sub == "preempt" && r.Method == http.MethodPost:
 		if !j.Preempt() {
 			http.Error(w, "broker: no running instance to preempt", http.StatusConflict)
@@ -142,7 +163,7 @@ func (h *HTTPHandler) serveJob(w http.ResponseWriter, r *http.Request, id, sub s
 		}
 		w.WriteHeader(http.StatusAccepted)
 	case sub == "" || sub == "events" || sub == "cost" || sub == "deadletters" ||
-		sub == "outputs" || sub == "preempt":
+		sub == "outputs" || sub == "journal" || sub == "preempt":
 		// Known subresource, wrong verb.
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	default:
@@ -172,6 +193,7 @@ func (c *HTTPClient) httpClient() *http.Client {
 func (c *HTTPClient) Submit(req JobRequest) (Status, error) {
 	wreq := wireJobRequest{
 		App:           req.App,
+		Tenant:        req.Tenant,
 		Files:         req.Files,
 		Shared:        req.Shared,
 		Autoscale:     req.Autoscale,
@@ -232,6 +254,20 @@ func (c *HTTPClient) Outputs(id string) (map[string][]byte, error) {
 	var outs map[string][]byte
 	err := c.getJSON("/jobs/"+id+"/outputs", &outs)
 	return outs, err
+}
+
+// Journal fetches the job's full event journal.
+func (c *HTTPClient) Journal(id string) ([]Event, error) {
+	var evs []Event
+	err := c.getJSON("/jobs/"+id+"/journal", &evs)
+	return evs, err
+}
+
+// Tenants fetches the per-tenant fleet/billing attribution report.
+func (c *HTTPClient) Tenants() ([]TenantStatus, error) {
+	var ts []TenantStatus
+	err := c.getJSON("/tenants", &ts)
+	return ts, err
 }
 
 // Preempt kills one running instance of the job.

@@ -1,0 +1,186 @@
+package broker
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+)
+
+func ts(sec int) time.Time { return time.Unix(9000+int64(sec), 0) }
+
+func submittedEvent() Event {
+	p := testPolicy().withDefaults()
+	return Event{
+		Type: EvSubmitted, Time: ts(0),
+		App: "cap3", Tenant: "alice", TaskIDs: []string{"a", "b", "c"},
+		Provider: "azure", Instance: "Small", Policy: &p,
+	}
+}
+
+func TestFoldJournalBasicLifecycle(t *testing.T) {
+	events := []Event{
+		submittedEvent(),
+		{Type: EvScaledUp, Time: ts(1), InstanceID: 0, Fleet: 1, Reason: "initial fleet"},
+		{Type: EvScaledUp, Time: ts(2), InstanceID: 1, Fleet: 2, Reason: "backlog"},
+		{Type: EvCheckpoint, Time: ts(3), Done: []string{"a", "b"}},
+		{Type: EvScaledDown, Time: ts(4), InstanceID: 1, Fleet: 1, Reason: "idle"},
+		{Type: EvCheckpoint, Time: ts(5), Done: []string{"c"}},
+		{Type: EvScaledDown, Time: ts(6), InstanceID: 0, Fleet: 0, Reason: "job complete"},
+		{Type: EvCompleted, Time: ts(6)},
+	}
+	rec, err := foldJournal("job-0001", events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateCompleted {
+		t.Errorf("state = %s", rec.State)
+	}
+	if rec.App != "cap3" || rec.Tenant != "alice" || len(rec.TaskIDs) != 3 {
+		t.Errorf("identity not folded: %+v", rec)
+	}
+	if len(rec.Done) != 3 || rec.settled() != 3 || rec.Dups != 0 {
+		t.Errorf("done=%d settled=%d dups=%d", len(rec.Done), rec.settled(), rec.Dups)
+	}
+	if rec.fleetSize() != 0 || len(rec.Ledger) != 2 {
+		t.Errorf("fleet=%d ledger=%d", rec.fleetSize(), len(rec.Ledger))
+	}
+	// The ledger carries exact lifetimes for billing.
+	if got := rec.Ledger[1].Stopped.Sub(rec.Ledger[1].Launched); got != 2*time.Second {
+		t.Errorf("instance 1 lifetime = %v, want 2s", got)
+	}
+	if len(rec.Events) != 4 {
+		t.Errorf("scaling events = %d, want 4", len(rec.Events))
+	}
+	if rec.Started != ts(0) || rec.FinishedAt != ts(6) {
+		t.Errorf("started=%v finished=%v", rec.Started, rec.FinishedAt)
+	}
+}
+
+// Checkpoints fold idempotently: a report replayed after a crash (the
+// journal-before-delete window) increments the duplicate counter but
+// never double-counts a settlement.
+func TestFoldCheckpointDeduplicates(t *testing.T) {
+	events := []Event{
+		submittedEvent(),
+		{Type: EvCheckpoint, Time: ts(1), Done: []string{"a", "b"}},
+		{Type: EvCheckpoint, Time: ts(2), Done: []string{"b"}, Dead: []string{"c"}},
+		{Type: EvCheckpoint, Time: ts(3), Dead: []string{"c"}},
+	}
+	rec, err := foldJournal("job-0001", events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Done) != 2 || rec.Dups != 1 {
+		t.Errorf("done=%d dups=%d, want 2/1", len(rec.Done), rec.Dups)
+	}
+	if rec.deadOnly() != 1 || rec.settled() != 3 {
+		t.Errorf("deadOnly=%d settled=%d, want 1/3", rec.deadOnly(), rec.settled())
+	}
+}
+
+// A task that was both dead-lettered and completed counts as done:
+// completion wins, so settled() sums to the task total.
+func TestFoldDeadThenDoneCountsOnce(t *testing.T) {
+	events := []Event{
+		submittedEvent(),
+		{Type: EvCheckpoint, Time: ts(1), Dead: []string{"a"}},
+		{Type: EvCheckpoint, Time: ts(2), Done: []string{"a"}},
+	}
+	rec, err := foldJournal("job-0001", events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.deadOnly() != 0 || rec.settled() != 1 {
+		t.Errorf("deadOnly=%d settled=%d, want 0/1", rec.deadOnly(), rec.settled())
+	}
+}
+
+// EvAdopted orphans every instance still running in the ledger, billing
+// it up to the adoption time, and resets the cooldown clocks.
+func TestFoldAdoptionOrphansOpenLedgerEntries(t *testing.T) {
+	events := []Event{
+		submittedEvent(),
+		{Type: EvScaledUp, Time: ts(1), InstanceID: 0, Fleet: 1, Reason: "initial fleet"},
+		{Type: EvScaledUp, Time: ts(2), InstanceID: 1, Fleet: 2, Reason: "backlog"},
+		{Type: EvScaledDown, Time: ts(3), InstanceID: 1, Fleet: 1, Reason: "idle"},
+		{Type: EvAdopted, Time: ts(10)},
+	}
+	rec, err := foldJournal("job-0001", events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateRunning || rec.Adoptions != 1 {
+		t.Errorf("state=%s adoptions=%d", rec.State, rec.Adoptions)
+	}
+	if rec.fleetSize() != 0 {
+		t.Errorf("fleet = %d after adoption, want 0 (old process's instances are gone)", rec.fleetSize())
+	}
+	le := rec.entry(0)
+	if !le.Orphaned || le.Stopped != ts(10) {
+		t.Errorf("instance 0 = %+v, want orphaned at adoption time", le)
+	}
+	if clean := rec.entry(1); clean.Orphaned {
+		t.Error("cleanly stopped instance marked orphaned")
+	}
+	if !rec.LastUp.IsZero() || !rec.LastDown.IsZero() {
+		t.Error("cooldown clocks not reset by adoption")
+	}
+}
+
+func TestFoldJournalRejectsCorruption(t *testing.T) {
+	if _, err := foldJournal("j", nil); err == nil {
+		t.Error("empty journal accepted")
+	}
+	if _, err := foldJournal("j", []Event{{Type: EvCompleted, Time: ts(0)}}); err == nil {
+		t.Error("journal not opening with submitted accepted")
+	}
+	if _, err := foldJournal("j", []Event{submittedEvent(), {Type: "martian", Time: ts(1)}}); err == nil {
+		t.Error("unknown event type accepted")
+	}
+	if _, err := foldJournal("j", []Event{submittedEvent(),
+		{Type: EvScaledDown, Time: ts(1), InstanceID: 7}}); err == nil {
+		t.Error("scale-down of unknown instance accepted")
+	}
+}
+
+// Round trip through the blob store: append events, read them back,
+// fold — the exact path recovery takes.
+func TestJournalBlobRoundTrip(t *testing.T) {
+	store := blob.NewStore(blob.Config{})
+	if err := store.CreateBucket("broker-journal"); err != nil {
+		t.Fatal(err)
+	}
+	jl := &journal{store: store, bucket: "broker-journal", key: journalKey("job-0042")}
+	events := []Event{
+		submittedEvent(),
+		{Type: EvScaledUp, Time: ts(1), InstanceID: 0, Fleet: 1, Reason: "initial fleet"},
+		{Type: EvCheckpoint, Time: ts(2), Done: []string{"a"}},
+	}
+	for _, ev := range events {
+		if err := jl.append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := readJournal(store, "broker-journal", "job-0042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i].Type != events[i].Type {
+			t.Errorf("event %d type = %s, want %s", i, got[i].Type, events[i].Type)
+		}
+	}
+	ids, err := listJournaledJobs(store, "broker-journal")
+	if err != nil || len(ids) != 1 || ids[0] != "job-0042" {
+		t.Errorf("listJournaledJobs = %v (err %v)", ids, err)
+	}
+	if _, err := decodeJournal([]byte("{not json\n")); err == nil ||
+		!strings.Contains(err.Error(), "journal line 1") {
+		t.Errorf("corrupt line error = %v", err)
+	}
+}

@@ -1,0 +1,655 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classiccloud"
+	"repro/internal/cloud"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/queue"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	// StateAborted marks a job shut down (Broker.Close) before every
+	// task settled; outputs are partial.
+	StateAborted JobState = "aborted"
+)
+
+// Job is one submission's full lifecycle: queues, fleet, ledger. Its
+// durable state — task settlements, the instance ledger, the lifecycle
+// phase — lives in `core`, a fold over the job's journal; everything
+// else is process-local runtime (instance handles, throughput
+// estimates) that a recovering broker rebuilds or restarts from scratch.
+type Job struct {
+	ID     string
+	App    string
+	Tenant string
+
+	broker *Broker
+	cc     *classiccloud.Client
+	ccCfg  classiccloud.Config
+	exec   classiccloud.Executor
+	policy AutoscalePolicy
+	itype  cloud.InstanceType
+	// plan holds the cost-aware selection when a target makespan was
+	// requested (live submissions only; recovered jobs keep the planned
+	// numbers in core).
+	plan *perfmodel.Selection
+	jl   *journal
+
+	tasks       []classiccloud.Task
+	crashBudget atomic.Int64
+
+	stop chan struct{}
+	// finished is closed exactly once, when the job reaches a terminal
+	// state (completed or aborted), so Wait blocks on a channel instead
+	// of polling in a sleep loop.
+	finished chan struct{}
+
+	mu   sync.Mutex
+	core jobRecord
+	// insts maps ledger-entry IDs to the instances this process
+	// launched. Ledger entries without a handle belong to a previous
+	// (crashed) broker process.
+	insts         map[int]*classiccloud.Instance
+	halted        bool
+	lastTick      time.Time
+	lastDoneCount int
+	throughput    float64 // tasks/sec/instance, smoothed
+	stopWG        sync.WaitGroup
+}
+
+// recordLocked journals one event, then folds it into the in-memory
+// state. The journal is the source of truth: a transition whose append
+// fails does not happen (the caller retries on a later tick). The
+// opening EvSubmitted is an exclusive create so two broker processes
+// can never interleave submissions under one job ID. Caller holds j.mu.
+func (j *Job) recordLocked(ev Event) error {
+	var err error
+	if ev.Type == EvSubmitted {
+		err = j.jl.create(ev)
+	} else {
+		err = j.jl.append(ev)
+	}
+	if err != nil {
+		return err
+	}
+	return j.core.apply(ev)
+}
+
+// run is the job's control loop: drain the monitor queue, observe the
+// task queue, autoscale, detect completion.
+func (j *Job) run() {
+	ticker := time.NewTicker(j.broker.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-ticker.C:
+		}
+		j.drainMonitor()
+		if j.maybeComplete() {
+			return
+		}
+		j.autoscaleTick()
+	}
+}
+
+// drainMonitor consumes every waiting completion report a batch at a
+// time. The settlement checkpoint is journaled BEFORE the reports are
+// deleted from the monitor queue: if the broker dies between the two,
+// the redelivered reports fold into the done-set idempotently — a
+// settlement can be replayed but never lost and never double-counted.
+func (j *Job) drainMonitor() {
+	svc := j.broker.cfg.Env.Queue
+	qn := j.ccCfg.MonitorQueue()
+	for {
+		msgs, err := svc.ReceiveMessageBatch(qn, j.ccCfg.VisibilityTimeout, queue.MaxBatch, 0)
+		if err != nil || len(msgs) == 0 {
+			return
+		}
+		j.mu.Lock()
+		// Reports whose task is already settled are broker-side
+		// redeliveries (a crash between checkpoint and delete, or a
+		// failed delete) — they are dropped, not journaled, so the
+		// Duplicates metric is never inflated by the broker's own
+		// recovery. A repeat WITHIN one batch is a genuine executor
+		// double-report and still counts.
+		seen := make(map[string]bool, len(msgs))
+		var done, dead []string
+		for _, m := range msgs {
+			st, id, perr := classiccloud.ParseMonitorMessage(m.Body)
+			if perr != nil || id == "" {
+				continue
+			}
+			if st == classiccloud.StatusDead {
+				if !j.core.Dead[id] {
+					dead = append(dead, id)
+				}
+			} else if !j.core.Done[id] || seen[id] {
+				done = append(done, id)
+			}
+			seen[id] = true
+		}
+		if len(done) > 0 || len(dead) > 0 {
+			err := j.recordLocked(Event{
+				Type: EvCheckpoint, Time: time.Now(), Done: done, Dead: dead,
+			})
+			if err != nil {
+				// Not checkpointed ⇒ not consumed: leave the reports to
+				// reappear after their visibility timeout.
+				j.mu.Unlock()
+				return
+			}
+		}
+		j.mu.Unlock()
+		receipts := make([]string, len(msgs))
+		for i, m := range msgs {
+			receipts[i] = m.ReceiptHandle
+		}
+		// A failed or partial delete only means some reports redeliver;
+		// the fold deduplicates them.
+		_, _ = svc.DeleteMessageBatch(qn, receipts)
+	}
+}
+
+// maybeComplete finishes the job once every task is settled: journals
+// the completion, retires the fleet, stamps the end time.
+func (j *Job) maybeComplete() bool {
+	j.mu.Lock()
+	if j.halted || j.core.State != StateRunning || j.core.settled() < len(j.tasks) {
+		// The state check closes a race with shutdown(): Close can abort
+		// the job while this loop is mid-drain, and completing on top of
+		// the abort would journal a contradiction, double-close finished,
+		// and double-decrement the tenant's active-job count.
+		j.mu.Unlock()
+		return false
+	}
+	if err := j.recordLocked(Event{Type: EvCompleted, Time: time.Now()}); err != nil {
+		// Retry next tick; completion must be durable before it is
+		// observable.
+		j.mu.Unlock()
+		return false
+	}
+	j.scaleDownToLocked(0, "job complete")
+	close(j.finished)
+	j.mu.Unlock()
+	j.broker.sched.jobEnded(j.Tenant)
+	j.stopWG.Wait()
+	return true
+}
+
+// autoscaleTick observes the queues and applies one policy decision,
+// with scale-ups granted by the broker's fair-share scheduler.
+func (j *Job) autoscaleTick() {
+	env := j.broker.cfg.Env
+	visible, inflight, err := env.Queue.ApproximateCount(j.ccCfg.TaskQueue())
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.core.State != StateRunning || j.halted {
+		// Shutdown raced with this tick; never grow a retired fleet.
+		return
+	}
+	fleet := j.core.fleetSize()
+	// Fair-share reclaim: while another tenant is starved below its
+	// share and ours is above its own, surrender one instance per tick
+	// (gentle, like the policy's own scale-down) regardless of
+	// cooldowns; the scheduler's deficit reservation hands the freed
+	// capacity to the starved tenant, not back to us.
+	if fleet > 0 && j.broker.sched.surplus(j.Tenant) > 0 {
+		j.scaleDownToLocked(fleet-1, "fair-share reclaim")
+		return
+	}
+	// Observed per-instance throughput, exponentially smoothed.
+	if dt := now.Sub(j.lastTick).Seconds(); dt > 0 && fleet > 0 {
+		rate := float64(len(j.core.Done)-j.lastDoneCount) / dt / float64(fleet)
+		const alpha = 0.5
+		j.throughput = alpha*rate + (1-alpha)*j.throughput
+	}
+	j.lastDoneCount = len(j.core.Done)
+	j.lastTick = now
+
+	d := j.policy.Decide(Observation{
+		Now:                   now,
+		Visible:               visible,
+		InFlight:              inflight,
+		Fleet:                 fleet,
+		ThroughputPerInstance: j.throughput,
+		LastScaleUp:           j.core.LastUp,
+		LastScaleDown:         j.core.LastDown,
+	})
+	switch {
+	case d.Delta > 0:
+		j.scaleUpLocked(d.Delta, d.Reason)
+	case d.Delta < 0:
+		j.scaleDownToLocked(fleet+d.Delta, d.Reason)
+	}
+}
+
+// scaleUpLocked asks the fair-share scheduler for up to delta instances
+// and launches what it grants. A denied or trimmed grant is not an
+// error: the next tick asks again, and the cooldown clock only advances
+// when something actually launched. Caller holds j.mu.
+func (j *Job) scaleUpLocked(delta int, reason string) {
+	if j.core.State != StateRunning || j.halted {
+		// Shutdown won the race (e.g. Broker.Close between Submit
+		// registering the job and launching its floor fleet): never grow
+		// a retired job's fleet — nothing would ever stop it.
+		return
+	}
+	granted := j.broker.sched.acquire(j.Tenant, delta)
+	for i := 0; i < granted; i++ {
+		now := time.Now()
+		id := len(j.core.Ledger)
+		if err := j.recordLocked(Event{
+			Type: EvScaledUp, Time: now, InstanceID: id,
+			Fleet: j.core.fleetSize() + 1, Reason: reason,
+		}); err != nil {
+			j.broker.sched.release(j.Tenant, granted-i)
+			return
+		}
+		inst, err := classiccloud.StartInstance(j.broker.cfg.Env, j.ccCfg, j.exec,
+			j.broker.cfg.WorkersPerInstance)
+		if err != nil {
+			// Compensate the journaled launch so the ledger stays
+			// truthful (factory preload failures already surfaced at
+			// Submit). The fold is applied even if the append fails —
+			// the in-memory fleet must never carry a phantom instance;
+			// a journal missing the compensation self-heals at the next
+			// adoption, which orphans the entry at zero-ish lifetime.
+			down := Event{
+				Type: EvScaledDown, Time: now, InstanceID: id, LaunchFailed: true,
+				Fleet: j.core.fleetSize() - 1, Reason: "launch failed: " + err.Error(),
+			}
+			_ = j.jl.append(down)
+			_ = j.core.apply(down)
+			j.broker.sched.release(j.Tenant, granted-i)
+			return
+		}
+		j.insts[id] = inst
+	}
+}
+
+// scaleDownToLocked retires instances until the running count is n,
+// newest first (LIFO retirement keeps the longest-running instances
+// warm). The journal append is best-effort here, unlike every other
+// transition: a scale-down must actually stop the instance and release
+// its budget even when the journal is unreachable — otherwise
+// Close()/completion would leak running workers forever. A stop event
+// lost to a journal failure self-heals at the next adoption, which
+// orphans the entry (billing it slightly long, never short). Caller
+// holds j.mu.
+func (j *Job) scaleDownToLocked(n int, reason string) {
+	for j.core.fleetSize() > n {
+		le := j.newestRunningLocked()
+		if le == nil {
+			return
+		}
+		ev := Event{
+			Type: EvScaledDown, Time: time.Now(), InstanceID: le.ID,
+			Fleet: j.core.fleetSize() - 1, Reason: reason,
+		}
+		_ = j.jl.append(ev)
+		_ = j.core.apply(ev)
+		j.broker.sched.release(j.Tenant, 1)
+		if inst := j.insts[le.ID]; inst != nil {
+			j.stopWG.Add(1)
+			go func() {
+				defer j.stopWG.Done()
+				inst.Stop() // graceful: current tasks finish and ack
+			}()
+		}
+	}
+}
+
+// newestRunningLocked returns the most recently launched running ledger
+// entry.
+func (j *Job) newestRunningLocked() *ledgerEntry {
+	for i := len(j.core.Ledger) - 1; i >= 0; i-- {
+		if j.core.Ledger[i].running() {
+			return j.core.Ledger[i]
+		}
+	}
+	return nil
+}
+
+// Preempt simulates a spot-instance reclaim: one running instance is
+// killed mid-task, abandoning un-acknowledged work to the visibility
+// timeout. It reports whether an instance was available to preempt.
+func (j *Job) Preempt() bool {
+	j.mu.Lock()
+	if j.halted || j.core.State != StateRunning {
+		// A preempt racing Halt must not journal anything: a Halt()ed
+		// broker's journal is promised to look like a kill -9's.
+		j.mu.Unlock()
+		return false
+	}
+	le := j.newestRunningLocked()
+	if le == nil {
+		j.mu.Unlock()
+		return false
+	}
+	if err := j.recordLocked(Event{
+		Type: EvScaledDown, Time: time.Now(), InstanceID: le.ID, Preempted: true,
+		Fleet: j.core.fleetSize() - 1, Reason: "spot reclaim",
+	}); err != nil {
+		j.mu.Unlock()
+		return false
+	}
+	inst := j.insts[le.ID]
+	if inst != nil {
+		j.stopWG.Add(1)
+	}
+	j.mu.Unlock()
+	j.broker.sched.release(j.Tenant, 1)
+	if inst != nil {
+		go func() {
+			defer j.stopWG.Done()
+			inst.Kill()
+		}()
+	}
+	return true
+}
+
+func (j *Job) fleetSize() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.core.fleetSize()
+}
+
+// shutdown stops the control loop and the fleet (used by Broker.Close
+// on jobs that have not completed). The abort is journaled best-effort:
+// even with an unreachable journal the process must still wind down,
+// and an un-journaled abort simply re-adopts as a running job.
+func (j *Job) shutdown() {
+	j.mu.Lock()
+	select {
+	case <-j.stop:
+	default:
+		close(j.stop)
+	}
+	ended := false
+	if j.core.State == StateRunning && !j.halted {
+		// Not a completion: tasks may still be unsettled, and callers
+		// waiting on the job must see the abort, not a success.
+		if err := j.recordLocked(Event{Type: EvAborted, Time: time.Now()}); err != nil {
+			j.core.State = StateAborted
+			j.core.FinishedAt = time.Now()
+		}
+		j.scaleDownToLocked(0, "broker shutdown")
+		close(j.finished)
+		ended = true
+	}
+	j.mu.Unlock()
+	if ended {
+		j.broker.sched.jobEnded(j.Tenant)
+	}
+	j.stopWG.Wait()
+}
+
+// halt hard-stops the job as a crash would: the control loop stops and
+// every instance is killed mid-task, but nothing is journaled and no
+// state transitions — the journal afterwards looks exactly like a
+// kill -9's.
+func (j *Job) halt() {
+	j.mu.Lock()
+	j.halted = true
+	select {
+	case <-j.stop:
+	default:
+		close(j.stop)
+	}
+	var victims []*classiccloud.Instance
+	for _, le := range j.core.Ledger {
+		if le.running() {
+			if inst := j.insts[le.ID]; inst != nil {
+				victims = append(victims, inst)
+			}
+		}
+	}
+	j.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, inst := range victims {
+		wg.Add(1)
+		go func(inst *classiccloud.Instance) {
+			defer wg.Done()
+			inst.Kill()
+		}(inst)
+	}
+	wg.Wait()
+	j.stopWG.Wait()
+}
+
+// Wait blocks until the job completes or the timeout expires. An
+// aborted job (broker shut down mid-run) returns an error: its
+// outputs are partial. Completion is signalled on a channel, so Wait
+// wakes the instant the job settles instead of polling on a fraction
+// of the autoscaler tick.
+func (j *Job) Wait(timeout time.Duration) error {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-j.finished:
+	case <-timer.C:
+		// Both channels may be ready; a finished job is never a timeout.
+		select {
+		case <-j.finished:
+		default:
+			j.mu.Lock()
+			settled, total := j.core.settled(), len(j.tasks)
+			j.mu.Unlock()
+			return fmt.Errorf("broker: job %s timeout with %d/%d tasks settled", j.ID, settled, total)
+		}
+	}
+	j.mu.Lock()
+	state, settled, total := j.core.State, j.core.settled(), len(j.tasks)
+	j.mu.Unlock()
+	if state == StateAborted {
+		return fmt.Errorf("broker: job %s aborted with %d/%d tasks settled", j.ID, settled, total)
+	}
+	return nil
+}
+
+// Status is a point-in-time job summary.
+type Status struct {
+	ID           string   `json:"id"`
+	App          string   `json:"app"`
+	Tenant       string   `json:"tenant"`
+	State        JobState `json:"state"`
+	InstanceType string   `json:"instance_type"`
+	Total        int      `json:"total"`
+	Done         int      `json:"done"`
+	Dead         int      `json:"dead"`
+	Duplicates   int      `json:"duplicates"`
+	Fleet        int      `json:"fleet"`
+	Elapsed      string   `json:"elapsed"`
+	// Adoptions counts broker restarts that re-adopted this job.
+	Adoptions int `json:"adoptions,omitempty"`
+	// PlannedInstances and PlanMeetsTarget report the cost-aware
+	// selection when a target makespan was requested.
+	PlannedInstances int  `json:"planned_instances,omitempty"`
+	PlanMeetsTarget  bool `json:"plan_meets_target,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	elapsed := time.Since(j.core.Started)
+	if !j.core.FinishedAt.IsZero() {
+		elapsed = j.core.FinishedAt.Sub(j.core.Started)
+	}
+	return Status{
+		ID:               j.ID,
+		App:              j.App,
+		Tenant:           j.Tenant,
+		State:            j.core.State,
+		InstanceType:     fmt.Sprintf("%s/%s", j.itype.Provider, j.itype.Name),
+		Total:            len(j.tasks),
+		Done:             len(j.core.Done),
+		Dead:             j.core.deadOnly(),
+		Duplicates:       j.core.Dups,
+		Fleet:            j.core.fleetSize(),
+		Elapsed:          elapsed.Round(time.Millisecond).String(),
+		Adoptions:        j.core.Adoptions,
+		PlannedInstances: j.core.PlannedInstances,
+		PlanMeetsTarget:  j.core.PlanMeetsTarget,
+	}
+}
+
+// Events returns a copy of the scaling event log (a fold over the
+// journal: launches, stops, preemptions, and restart orphanings).
+func (j *Job) Events() []ScalingEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]ScalingEvent(nil), j.core.Events...)
+}
+
+// DeadLetters returns the IDs of dead-lettered tasks.
+func (j *Job) DeadLetters() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.core.Dead))
+	for id := range j.core.Dead {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Journal returns the job's full event journal, read back from the blob
+// store (nil when journaling is disabled).
+func (j *Job) Journal() ([]Event, error) {
+	if j.jl == nil {
+		return nil, nil
+	}
+	return readJournal(j.jl.store, j.jl.bucket, j.ID)
+}
+
+// CostReport prices the job's fleet in the paper's hour-unit
+// convention and compares it against a fixed fleet of MaxInstances
+// held for the whole job.
+type CostReport struct {
+	InstanceType  string  `json:"instance_type"`
+	Launches      int     `json:"launches"`
+	Preemptions   int     `json:"preemptions"`
+	Orphaned      int     `json:"orphaned,omitempty"` // instances lost to broker crashes
+	HourUnits     float64 `json:"hour_units"`
+	ComputeCost   float64 `json:"compute_cost_usd"`
+	AmortizedCost float64 `json:"amortized_cost_usd"`
+	QueueRequests int64   `json:"queue_requests"`
+	QueueCost     float64 `json:"queue_cost_usd"`
+	Elapsed       string  `json:"elapsed"`
+	Utilization   float64 `json:"utilization"`
+	TasksPerUSD   float64 `json:"tasks_per_usd"`
+	// Fixed-fleet baseline: MaxInstances instances for the whole job,
+	// billed in the same hour units.
+	FixedFleet       int     `json:"fixed_fleet"`
+	FixedHourUnits   float64 `json:"fixed_hour_units"`
+	FixedComputeCost float64 `json:"fixed_compute_cost_usd"`
+}
+
+// CostReport computes the job's bill so far (final once completed). The
+// ledger — launch and stop times per instance — is journaled state, so
+// billing continues correctly across a broker restart; busy time is only
+// known for instances this process launched (orphaned instances count
+// their allocated time but report no busy time, which understates
+// utilization after a crash — stated, not hidden).
+func (j *Job) CostReport() CostReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now()
+	end := j.core.FinishedAt
+	if end.IsZero() {
+		end = now
+	}
+	var hourUnits, amortized float64
+	var busy, allocated time.Duration
+	launches, preempts, orphans := 0, 0, 0
+	for _, le := range j.core.Ledger {
+		if le.Failed {
+			// A journaled launch whose StartInstance failed: zero
+			// lifetime, zero bill, not a launch.
+			continue
+		}
+		launches++
+		stop := le.Stopped
+		if stop.IsZero() {
+			stop = now
+		}
+		life := stop.Sub(le.Launched)
+		bill := cloud.ComputeBill(j.itype, 1, life)
+		hourUnits += bill.HourUnits
+		amortized += bill.Amortized
+		if inst := j.insts[le.ID]; inst != nil {
+			busy += time.Duration(inst.Stats().BusyNanos.Load())
+		}
+		allocated += life * time.Duration(j.broker.cfg.WorkersPerInstance)
+		if le.Preempted {
+			preempts++
+		}
+		if le.Orphaned {
+			orphans++
+		}
+	}
+	elapsed := end.Sub(j.core.Started)
+	fixedBill := cloud.ComputeBill(j.itype, j.policy.MaxInstances, elapsed)
+	// Bill only this job's queues: the service-wide counter would
+	// cross-charge concurrent jobs' traffic.
+	svc := j.broker.cfg.Env.Queue
+	queueReq := svc.APIRequestsFor(j.ccCfg.TaskQueue()) +
+		svc.APIRequestsFor(j.ccCfg.MonitorQueue()) +
+		svc.APIRequestsFor(j.ccCfg.DeadLetterQueue)
+	rates := cloud.AWSRates
+	if j.itype.Provider == cloud.Azure {
+		rates = cloud.AzureRates
+	}
+	computeCost := hourUnits * j.itype.CostPerHour
+	queueCost := rates.ServiceCost(int(queueReq), 0, 0, 0)
+	return CostReport{
+		InstanceType:     fmt.Sprintf("%s/%s", j.itype.Provider, j.itype.Name),
+		Launches:         launches,
+		Preemptions:      preempts,
+		Orphaned:         orphans,
+		HourUnits:        hourUnits,
+		ComputeCost:      computeCost,
+		AmortizedCost:    amortized,
+		QueueRequests:    queueReq,
+		QueueCost:        queueCost,
+		Elapsed:          elapsed.Round(time.Millisecond).String(),
+		Utilization:      metrics.FleetUtilization(busy, allocated),
+		TasksPerUSD:      metrics.TasksPerDollar(len(j.core.Done), computeCost+queueCost),
+		FixedFleet:       j.policy.MaxInstances,
+		FixedHourUnits:   fixedBill.HourUnits,
+		FixedComputeCost: fixedBill.ComputeCost,
+	}
+}
+
+// CollectOutputs downloads the outputs of completed tasks.
+func (j *Job) CollectOutputs() (map[string][]byte, error) {
+	j.mu.Lock()
+	var completed []classiccloud.Task
+	for _, t := range j.tasks {
+		if j.core.Done[t.ID] {
+			completed = append(completed, t)
+		}
+	}
+	j.mu.Unlock()
+	return j.cc.CollectOutputs(completed)
+}

@@ -214,13 +214,7 @@ func (c *Client) SubmitFiles(files map[string][]byte) ([]Task, error) {
 		if err := c.env.Blob.Put(c.cfg.InputBucket(), name, files[name]); err != nil {
 			return nil, fmt.Errorf("classiccloud: uploading %s: %w", name, err)
 		}
-		task := Task{
-			ID:           name,
-			InputBucket:  c.cfg.InputBucket(),
-			InputKey:     name,
-			OutputBucket: c.cfg.OutputBucket(),
-			OutputKey:    name + ".out",
-		}
+		task := c.cfg.TasksFromIDs([]string{name})[0]
 		body, err := json.Marshal(task)
 		if err != nil {
 			return nil, fmt.Errorf("classiccloud: encoding task: %w", err)
@@ -231,6 +225,40 @@ func (c *Client) SubmitFiles(files map[string][]byte) ([]Task, error) {
 		tasks = append(tasks, task)
 	}
 	return tasks, nil
+}
+
+// Reattach re-adopts a previously submitted job from its task IDs: it
+// recreates any missing queues and buckets (Setup is idempotent) and
+// reconstructs the task set from the deterministic naming convention
+// SubmitFiles uses — WITHOUT re-uploading inputs or re-enqueueing task
+// messages. Messages already in the task queue keep their receive
+// counts and leases, and completion reports waiting in the monitor
+// queue are preserved, so a recovering controller (the journaled
+// broker) resumes monitoring exactly where the dead one stopped.
+func (c *Client) Reattach(taskIDs []string) ([]Task, error) {
+	if err := c.Setup(); err != nil {
+		return nil, err
+	}
+	return c.cfg.TasksFromIDs(taskIDs), nil
+}
+
+// TasksFromIDs reconstructs the task set SubmitFiles created for these
+// IDs from the deterministic naming convention (input key = ID, output
+// key = ID + ".out"). It is the single definition of that convention:
+// SubmitFiles, Reattach, and recovering controllers all agree through
+// it.
+func (c Config) TasksFromIDs(taskIDs []string) []Task {
+	tasks := make([]Task, len(taskIDs))
+	for i, id := range taskIDs {
+		tasks[i] = Task{
+			ID:           id,
+			InputBucket:  c.InputBucket(),
+			InputKey:     id,
+			OutputBucket: c.OutputBucket(),
+			OutputKey:    id + ".out",
+		}
+	}
+	return tasks
 }
 
 func sortStrings(s []string) {

@@ -120,6 +120,18 @@ func FleetUtilization(busy, allocated time.Duration) float64 {
 	return u
 }
 
+// FairShare returns a tenant's weighted share of an instance budget:
+// budget × weight / totalWeight. It is the per-tenant generalization of
+// the fixed per-job fleet cap — the multi-tenant broker grants scale-ups
+// against this share when its budget is contended. A non-positive
+// budget or total weight yields 0 (no constraint to express).
+func FairShare(budget, weight, totalWeight int) float64 {
+	if budget <= 0 || totalWeight <= 0 || weight <= 0 {
+		return 0
+	}
+	return float64(budget) * float64(weight) / float64(totalWeight)
+}
+
 // TasksPerDollar expresses throughput per unit cost, the figure of
 // merit behind the paper's cost-effectiveness tables.
 func TasksPerDollar(tasks int, costUSD float64) float64 {
