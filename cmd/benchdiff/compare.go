@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// direction classifies a metric by its field name.
+type direction int
+
+const (
+	informational direction = iota // never gated
+	higherIsBetter
+	lowerIsBetter
+)
+
+// directionOf infers the metric direction from the BENCH schema naming
+// convention.
+func directionOf(field string) direction {
+	switch {
+	case strings.HasSuffix(field, "_per_sec"), strings.HasSuffix(field, "_speedup"):
+		return higherIsBetter
+	case strings.HasSuffix(field, "_ns"), strings.HasSuffix(field, "_per_task"):
+		return lowerIsBetter
+	default:
+		return informational
+	}
+}
+
+// Options sets the per-direction tolerances.
+type Options struct {
+	// Tol is the allowed fractional regression for throughput and
+	// billing metrics (higher-is-better fields and *_per_task).
+	Tol float64
+	// LatencyTol is the allowed fractional regression for latency
+	// (*_ns) metrics, looser because wall-clock latency on small
+	// shared CI machines is modal in a way throughput is not.
+	LatencyTol float64
+}
+
+// Result is one compared field.
+type Result struct {
+	Path     string
+	Baseline float64
+	Fresh    float64
+	// Change is the signed fractional delta, positive = value grew.
+	Change  float64
+	Gated   bool
+	Failed  bool
+	Missing bool // baseline field absent from the fresh document
+}
+
+func (r Result) String() string {
+	if r.Missing {
+		return fmt.Sprintf("FAIL %-44s missing from fresh document", r.Path)
+	}
+	status := "  ok"
+	switch {
+	case r.Failed:
+		status = "FAIL"
+	case !r.Gated:
+		status = "info"
+	}
+	return fmt.Sprintf("%s %-44s %14.3f -> %14.3f  (%+.1f%%)",
+		status, r.Path, r.Baseline, r.Fresh, r.Change*100)
+}
+
+// Compare walks the baseline document and checks every numeric leaf
+// against the fresh document. Gated metrics (direction inferred from
+// the field name) fail when they regress by more than their tolerance;
+// extra fields in the fresh document are ignored, missing ones fail.
+func Compare(baseline, fresh any, opt Options) []Result {
+	var out []Result
+	walk("", "", baseline, fresh, opt, &out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+func walk(path, field string, baseline, fresh any, opt Options, out *[]Result) {
+	switch b := baseline.(type) {
+	case map[string]any:
+		f, ok := fresh.(map[string]any)
+		if !ok {
+			f = nil
+		}
+		for key, bv := range b {
+			childPath := key
+			if path != "" {
+				childPath = path + "." + key
+			}
+			var fv any
+			if f != nil {
+				var present bool
+				fv, present = f[key]
+				if !present {
+					fv = nil
+				}
+			}
+			walk(childPath, key, bv, fv, opt, out)
+		}
+	case []any:
+		f, _ := fresh.([]any)
+		for i, bv := range b {
+			var fv any
+			if i < len(f) {
+				fv = f[i]
+			}
+			walk(fmt.Sprintf("%s[%d]", path, i), field, bv, fv, opt, out)
+		}
+	case float64:
+		dir := directionOf(field)
+		fv, ok := fresh.(float64)
+		if !ok {
+			*out = append(*out, Result{Path: path, Baseline: b, Missing: true, Gated: true, Failed: true})
+			return
+		}
+		// Ratio gating needs a positive baseline: zero divides and a
+		// negative one (a subtraction-derived metric measured inside
+		// noise) inverts the comparison, so both demote to informational.
+		r := Result{Path: path, Baseline: b, Fresh: fv, Gated: dir != informational && b > 0}
+		if b != 0 {
+			r.Change = (fv - b) / math.Abs(b)
+		}
+		if r.Gated {
+			switch dir {
+			case higherIsBetter:
+				r.Failed = fv < b*(1-opt.Tol)
+			case lowerIsBetter:
+				tol := opt.Tol
+				if strings.HasSuffix(field, "_ns") {
+					tol = opt.LatencyTol
+				}
+				r.Failed = fv > b*(1+tol)
+			}
+		}
+		*out = append(*out, r)
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// opts are the CI defaults: 30% on throughput/billing, 3x on latency.
+var opts = Options{Tol: 0.30, LatencyTol: 2.0}
+
+func parse(t *testing.T, s string) any {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func byPath(results []Result) map[string]Result {
+	out := make(map[string]Result, len(results))
+	for _, r := range results {
+		out[r.Path] = r
+	}
+	return out
+}
+
+// TestCompareGatesDirections: a >30% throughput drop fails, a >30%
+// billing rise fails, improvements pass, and fields without a
+// direction suffix are informational.
+func TestCompareGatesDirections(t *testing.T) {
+	baseline := parse(t, `{
+		"contention_ops_per_sec": 1000.0,
+		"single_requests_per_task": 3.0,
+		"batch_requests_per_task": 0.3,
+		"shards": 4
+	}`)
+	fresh := parse(t, `{
+		"contention_ops_per_sec": 650.0,
+		"single_requests_per_task": 4.0,
+		"batch_requests_per_task": 0.2,
+		"shards": 400
+	}`)
+	res := byPath(Compare(baseline, fresh, opts))
+	if r := res["contention_ops_per_sec"]; !r.Failed {
+		t.Errorf("35%% throughput drop passed: %+v", r)
+	}
+	if r := res["single_requests_per_task"]; !r.Failed {
+		t.Errorf("33%% billing rise passed: %+v", r)
+	}
+	if r := res["batch_requests_per_task"]; r.Failed {
+		t.Errorf("billing improvement failed the gate: %+v", r)
+	}
+	if r := res["shards"]; r.Gated || r.Failed {
+		t.Errorf("suffix-less field was gated: %+v", r)
+	}
+}
+
+// TestCompareLatencyTolerance: latency fields use the looser gate — a
+// 2x slowdown passes at latency-tol 2.0, a 4x slowdown fails.
+func TestCompareLatencyTolerance(t *testing.T) {
+	baseline := parse(t, `{"long_poll_wakeup_ns": 10000.0, "dead_backlog_receive_ns": 900.0}`)
+	fresh := parse(t, `{"long_poll_wakeup_ns": 20000.0, "dead_backlog_receive_ns": 3600.0}`)
+	res := byPath(Compare(baseline, fresh, opts))
+	if r := res["long_poll_wakeup_ns"]; r.Failed {
+		t.Errorf("2x latency within the 3x latency gate failed: %+v", r)
+	}
+	if r := res["dead_backlog_receive_ns"]; !r.Failed {
+		t.Errorf("4x latency passed the 3x latency gate: %+v", r)
+	}
+}
+
+// TestCompareWithinTolerance: a 29% drop on a 30% gate passes.
+func TestCompareWithinTolerance(t *testing.T) {
+	baseline := parse(t, `{"x_per_sec": 1000.0}`)
+	fresh := parse(t, `{"x_per_sec": 710.0}`)
+	res := Compare(baseline, fresh, opts)
+	if len(res) != 1 || res[0].Failed {
+		t.Errorf("29%% drop should pass a 30%% gate: %+v", res)
+	}
+}
+
+// TestCompareNested: arrays pair by index and nested fields gate like
+// top-level ones — the BENCH_broker.json replay-curve shape.
+func TestCompareNested(t *testing.T) {
+	baseline := parse(t, `{"replay": [
+		{"journal_events": 16, "events_per_sec": 450000.0},
+		{"journal_events": 128, "events_per_sec": 500000.0}
+	]}`)
+	fresh := parse(t, `{"replay": [
+		{"journal_events": 16, "events_per_sec": 440000.0},
+		{"journal_events": 128, "events_per_sec": 100000.0}
+	]}`)
+	res := byPath(Compare(baseline, fresh, opts))
+	if r := res["replay[0].events_per_sec"]; r.Failed {
+		t.Errorf("2%% drop failed: %+v", r)
+	}
+	if r := res["replay[1].events_per_sec"]; !r.Failed {
+		t.Errorf("80%% drop passed: %+v", r)
+	}
+}
+
+// TestCompareMissingField: dropping a gated metric from the fresh
+// document is a failure, not a silent un-gating.
+func TestCompareMissingField(t *testing.T) {
+	baseline := parse(t, `{"a_per_sec": 10.0, "b_ns": 5.0}`)
+	fresh := parse(t, `{"a_per_sec": 10.0}`)
+	res := byPath(Compare(baseline, fresh, opts))
+	r := res["b_ns"]
+	if !r.Failed || !r.Missing {
+		t.Errorf("missing gated field should fail: %+v", r)
+	}
+	// Extra fresh fields are fine.
+	res = byPath(Compare(fresh, baseline, opts))
+	if r := res["a_per_sec"]; r.Failed {
+		t.Errorf("fresh superset should pass: %+v", r)
+	}
+}
+
+// TestCompareZeroBaseline: zero baselines cannot be gated by ratio and
+// must not divide by zero.
+func TestCompareZeroBaseline(t *testing.T) {
+	baseline := parse(t, `{"x_per_sec": 0.0}`)
+	fresh := parse(t, `{"x_per_sec": 5.0}`)
+	res := Compare(baseline, fresh, opts)
+	if len(res) != 1 || res[0].Failed {
+		t.Errorf("zero baseline should never fail: %+v", res)
+	}
+}
+
+// TestCompareNegativeBaseline: a negative baseline (a subtraction-
+// derived metric measured inside noise) inverts ratio comparisons, so
+// it must demote to informational instead of failing every normal
+// positive measurement forever.
+func TestCompareNegativeBaseline(t *testing.T) {
+	baseline := parse(t, `{"router_overhead_ns": -50.0}`)
+	fresh := parse(t, `{"router_overhead_ns": 270.0}`)
+	res := Compare(baseline, fresh, opts)
+	if len(res) != 1 || res[0].Gated || res[0].Failed {
+		t.Errorf("negative baseline should be informational: %+v", res)
+	}
+}
+
+// TestCompareSpeedupGate: the shard scaling curve's speedup fields are
+// gated as higher-is-better.
+func TestCompareSpeedupGate(t *testing.T) {
+	baseline := parse(t, `{"curve": [{"shards": 4, "vs_one_shard_speedup": 4.0}]}`)
+	fresh := parse(t, `{"curve": [{"shards": 4, "vs_one_shard_speedup": 1.1}]}`)
+	res := byPath(Compare(baseline, fresh, opts))
+	if r := res["curve[0].vs_one_shard_speedup"]; !r.Failed {
+		t.Errorf("scaling collapse passed: %+v", r)
+	}
+}

@@ -1,0 +1,84 @@
+// Command benchdiff compares a freshly measured benchmark JSON (the
+// BENCH_*.json files paperbench writes) against a committed baseline
+// and fails — exit status 1 — when any gated metric regressed beyond
+// the tolerance. CI runs it after re-measuring so a throughput
+// regression cannot merge silently; developers run it locally the same
+// way.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_queue.json -fresh /tmp/BENCH_queue.json \
+//	          [-tol 0.30] [-latency-tol 2.0]
+//
+// Metric direction is inferred from the field name, the convention the
+// BENCH schemas follow:
+//
+//	*_per_sec, *_speedup        higher is better, gated at -tol
+//	*_per_task                  lower is better, gated at -tol
+//	*_ns                        lower is better, gated at -latency-tol
+//	anything else               informational, never gated
+//
+// Latency fields get their own, looser tolerance: wall-clock latency on
+// small shared CI machines shifts in modes (scheduler, CPU contention)
+// that throughput and billing metrics do not suffer, and a gate that
+// cries wolf gets deleted.
+//
+// Documents are walked recursively; array elements pair by index and
+// a baseline field missing from the fresh document is itself a failure
+// (schema drift would otherwise un-gate a metric without anyone
+// noticing).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline JSON")
+	freshPath := flag.String("fresh", "", "freshly measured JSON")
+	tol := flag.Float64("tol", 0.30, "allowed fractional regression for throughput/billing metrics")
+	latencyTol := flag.Float64("latency-tol", 2.0, "allowed fractional regression for *_ns latency metrics")
+	flag.Parse()
+	if *baselinePath == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: need -baseline and -fresh")
+		os.Exit(2)
+	}
+	baseline, err := loadJSON(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := loadJSON(*freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	results := Compare(baseline, fresh, Options{Tol: *tol, LatencyTol: *latencyTol})
+	failed := false
+	for _, r := range results {
+		fmt.Println(r)
+		if r.Failed {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond tolerance against %s\n", *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %s within tolerance of %s\n", *freshPath, *baselinePath)
+}
+
+func loadJSON(path string) (any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}

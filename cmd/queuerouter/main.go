@@ -1,0 +1,145 @@
+// Command queuerouter runs the sharded queue front as a daemon: one
+// SQS-shaped HTTP endpoint (the same protocol a single queue service
+// serves) backed by N shards, each either an in-process service or a
+// remote queue node reached over HTTP. Queue names map to shards by
+// consistent hashing; shards can be added and removed at runtime
+// through the admin API, with live queues migrated by drain-and-forward.
+//
+// Usage:
+//
+//	queuerouter -addr :8090 -shards a=http://node1:8080,b=http://node2:8080
+//	queuerouter -addr :8090 -local 4     # 4 in-process shards (demo/bench)
+//
+// Queue API: every endpoint of internal/queue.HTTPHandler, unchanged —
+// consumers point their queue.HTTPClient at the router instead of a
+// single node.
+//
+// Admin API:
+//
+//	GET    /admin/shards               placement and billing per shard
+//	PUT    /admin/shards/{id}?url=U    add a shard (migrates ≈1/N of queues)
+//	DELETE /admin/shards/{id}          retire a shard (migrates its queues)
+//	POST   /admin/rebalance            retry migrations the ring implies
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/queue"
+	"repro/internal/queue/shard"
+)
+
+// parseShards decodes "a=http://node1:8080,b=http://node2:8080".
+func parseShards(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad shard %q (want id=url)", pair)
+		}
+		out[id] = url
+	}
+	return out, nil
+}
+
+// adminHandler manages router topology over HTTP.
+type adminHandler struct {
+	router *shard.Router
+}
+
+func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/admin/rebalance" {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := h.router.Rebalance(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		log.Printf("queuerouter: rebalanced")
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/admin/shards")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	rest = strings.TrimPrefix(rest, "/")
+	switch {
+	case rest == "" && r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h.router.Stats())
+	case rest != "" && r.Method == http.MethodPut:
+		url := r.URL.Query().Get("url")
+		if url == "" {
+			http.Error(w, "shard: missing url parameter", http.StatusBadRequest)
+			return
+		}
+		if err := h.router.AddShard(rest, &queue.HTTPClient{BaseURL: url}); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		log.Printf("queuerouter: added shard %q at %s", rest, url)
+		w.WriteHeader(http.StatusCreated)
+	case rest != "" && r.Method == http.MethodDelete:
+		if err := h.router.RemoveShard(rest); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		log.Printf("queuerouter: retired shard %q", rest)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	shardsFlag := flag.String("shards", "",
+		"remote shards as id=url pairs, e.g. a=http://node1:8080,b=http://node2:8080")
+	local := flag.Int("local", 0, "run N in-process shards instead of remote ones")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (default 64)")
+	flag.Parse()
+
+	remotes, err := parseShards(*shardsFlag)
+	if err != nil {
+		log.Fatalf("queuerouter: -shards: %v", err)
+	}
+	if len(remotes) == 0 && *local <= 0 {
+		log.Fatal("queuerouter: need -shards or -local N")
+	}
+
+	router := shard.NewRouter(shard.Config{VirtualNodes: *vnodes})
+	defer router.Close()
+	for id, url := range remotes {
+		if err := router.AddShard(id, &queue.HTTPClient{BaseURL: url}); err != nil {
+			log.Fatalf("queuerouter: add shard %q: %v", id, err)
+		}
+		log.Printf("queuerouter: shard %q -> %s", id, url)
+	}
+	for i := 0; i < *local; i++ {
+		id := fmt.Sprintf("local%d", i)
+		if err := router.AddShard(id, queue.NewService(queue.Config{Seed: int64(i + 1)})); err != nil {
+			log.Fatalf("queuerouter: add shard %q: %v", id, err)
+		}
+		log.Printf("queuerouter: shard %q (in-process)", id)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/admin/", &adminHandler{router: router})
+	mux.Handle("/", &queue.HTTPHandler{Service: router})
+	log.Printf("queuerouter: listening on %s with %d shard(s)", *addr, len(router.Shards()))
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}

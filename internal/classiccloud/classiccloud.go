@@ -23,10 +23,12 @@ import (
 )
 
 // Env bundles the cloud infrastructure services a deployment uses —
-// the (S3/Azure Blob, SQS/Azure Queue) pair.
+// the (S3/Azure Blob, SQS/Azure Queue) pair. Queue is any queue.API:
+// a single in-process service, a remote service over HTTP, or a
+// shard.Router fanning the namespace across many services.
 type Env struct {
 	Blob  *blob.Store
-	Queue *queue.Service
+	Queue queue.API
 }
 
 // Task describes one unit of work: a single input file producing a

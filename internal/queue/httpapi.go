@@ -17,9 +17,13 @@ import (
 // "a REST-based web service interface that enables any HTTP capable
 // client to use it" (Section 2.1.1):
 //
+//	GET    /q                                list queues ({"queues": [...]})
+//	GET    /requests                         total billed requests ({"requests": n})
 //	PUT    /q/{name}                         create queue
 //	DELETE /q/{name}                         delete queue
 //	GET    /q/{name}/count                   approximate counts (JSON)
+//	GET    /q/{name}/requests                billed requests for one queue
+//	POST   /q/{name}/purge                   drop every message
 //	POST   /q/{name}/messages                send (body = message)
 //	GET    /q/{name}/messages?visibility=30s receive (JSON; 204 when empty)
 //	       &wait=1s                          … long poll up to wait
@@ -28,8 +32,12 @@ import (
 //	POST   /q/{name}/messages/batchdelete    batch delete ({"receipts": [...]} → {"errors": [...]})
 //	DELETE /q/{name}/messages/{receipt}      delete by receipt handle
 //	POST   /q/{name}/messages/{receipt}/visibility?d=1m  change visibility
+//
+// Service is any queue.API implementation — a local Service or a
+// shard router — so one handler serves both a single queue node and a
+// sharded front.
 type HTTPHandler struct {
-	Service *Service
+	Service API
 }
 
 // wireMessage is the receive-response body.
@@ -42,6 +50,22 @@ type wireMessage struct {
 
 // ServeHTTP implements http.Handler.
 func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/requests" {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, map[string]int64{"requests": h.Service.APIRequests()})
+		return
+	}
+	if r.URL.Path == "/q" || r.URL.Path == "/q/" {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, map[string][]string{"queues": h.Service.ListQueues()})
+		return
+	}
 	rest, ok := strings.CutPrefix(r.URL.Path, "/q/")
 	if !ok || rest == "" {
 		http.Error(w, "queue: missing queue name", http.StatusBadRequest)
@@ -54,6 +78,14 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveQueue(w, r, name)
 	case parts[1] == "count" && len(parts) == 2:
 		h.serveCount(w, r, name)
+	case parts[1] == "requests" && len(parts) == 2:
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, map[string]int64{"requests": h.Service.APIRequestsFor(name)})
+	case parts[1] == "purge" && len(parts) == 2:
+		h.servePurge(w, r, name)
 	case parts[1] == "messages" && len(parts) == 2:
 		h.serveMessages(w, r, name)
 	case parts[1] == "messages" && len(parts) == 3 && parts[2] == "batch":
@@ -104,6 +136,19 @@ func (h *HTTPHandler) serveCount(w http.ResponseWriter, r *http.Request, name st
 		return
 	}
 	writeJSON(w, map[string]int{"visible": visible, "inflight": inflight})
+}
+
+// servePurge drops every message in the queue.
+func (h *HTTPHandler) servePurge(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := h.Service.Purge(name); err != nil {
+		writeQueueError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name string) {
@@ -220,12 +265,22 @@ func (h *HTTPHandler) serveDeleteBatch(w http.ResponseWriter, r *http.Request, n
 	}
 	out := make([]string, len(results))
 	for i, e := range results {
-		if e != nil {
+		switch {
+		case e == nil:
+		case errors.Is(e, ErrStaleReceipt):
+			// A stable code, not prose: the client maps it back to the
+			// sentinel without matching error text.
+			out[i] = staleReceiptCode
+		default:
 			out[i] = e.Error()
 		}
 	}
 	writeJSON(w, map[string][]string{"errors": out})
 }
+
+// staleReceiptCode is the wire encoding of ErrStaleReceipt in batch
+// delete responses.
+const staleReceiptCode = "stale"
 
 func (h *HTTPHandler) serveReceipt(w http.ResponseWriter, r *http.Request, name, receipt string) {
 	if r.Method != http.MethodDelete {
@@ -272,17 +327,35 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// HTTPClient speaks the HTTPHandler protocol.
+// HTTPClient speaks the HTTPHandler protocol. It implements the full
+// queue.API, so a remote queue node is interchangeable with a local
+// Service everywhere consumers take the interface — including as a
+// shard behind shard.Router.
 type HTTPClient struct {
 	BaseURL string
 	Client  *http.Client
 }
+
+var _ API = (*HTTPClient)(nil)
 
 func (c *HTTPClient) httpClient() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
 	return http.DefaultClient
+}
+
+// statusErr converts a failed response into an error wrapping the
+// sentinel the status code encodes, so errors.Is(err, ErrNoSuchQueue)
+// and errors.Is(err, ErrStaleReceipt) hold across the HTTP boundary.
+func statusErr(op, name string, resp *http.Response) error {
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("queue: %s %s: %w", op, name, ErrNoSuchQueue)
+	case http.StatusConflict:
+		return fmt.Errorf("queue: %s %s: %w", op, name, ErrStaleReceipt)
+	}
+	return fmt.Errorf("queue: %s %s: %s", op, name, resp.Status)
 }
 
 // CreateQueue creates (idempotently) a queue.
@@ -297,10 +370,120 @@ func (c *HTTPClient) CreateQueue(name string) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("queue: create %s: %s", name, resp.Status)
+		return statusErr("create", name, resp)
 	}
 	return nil
 }
+
+// DeleteQueue removes a queue and its messages.
+func (c *HTTPClient) DeleteQueue(name string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/q/"+name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return statusErr("delete queue", name, resp)
+	}
+	return nil
+}
+
+// ListQueues returns the queue names, or nil when the request fails
+// (the interface carries no error return, matching Service).
+func (c *HTTPClient) ListQueues() []string {
+	resp, err := c.httpClient().Get(c.BaseURL + "/q")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var out struct {
+		Queues []string `json:"queues"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil
+	}
+	return out.Queues
+}
+
+// ApproximateCount reports visible and in-flight message counts.
+func (c *HTTPClient) ApproximateCount(name string) (visible, inflight int, err error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/q/" + name + "/count")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, statusErr("count", name, resp)
+	}
+	var out struct {
+		Visible  int `json:"visible"`
+		Inflight int `json:"inflight"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, err
+	}
+	return out.Visible, out.Inflight, nil
+}
+
+// Purge removes every message from a queue.
+func (c *HTTPClient) Purge(name string) error {
+	resp, err := c.httpClient().Post(c.BaseURL+"/q/"+name+"/purge", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return statusErr("purge", name, resp)
+	}
+	return nil
+}
+
+// ChangeVisibility extends or shrinks an in-flight message's lease.
+func (c *HTTPClient) ChangeVisibility(name, receipt string, d time.Duration) error {
+	resp, err := c.httpClient().Post(
+		c.BaseURL+"/q/"+name+"/messages/"+url.PathEscape(receipt)+"/visibility?d="+url.QueryEscape(d.String()), "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return statusErr("change visibility", name, resp)
+	}
+	return nil
+}
+
+// requests reads a billed-request counter endpoint, 0 on any failure
+// (the interface carries no error return, matching Service).
+func (c *HTTPClient) requests(path string) int64 {
+	resp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	var out struct {
+		Requests int64 `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0
+	}
+	return out.Requests
+}
+
+// APIRequests returns the remote service's total billed API calls.
+func (c *HTTPClient) APIRequests() int64 { return c.requests("/requests") }
+
+// APIRequestsFor returns the billed API calls addressed to one queue.
+func (c *HTTPClient) APIRequestsFor(name string) int64 { return c.requests("/q/" + name + "/requests") }
 
 // Send enqueues a message and returns its id.
 func (c *HTTPClient) Send(name string, body []byte) (string, error) {
@@ -311,7 +494,7 @@ func (c *HTTPClient) Send(name string, body []byte) (string, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
-		return "", fmt.Errorf("queue: send to %s: %s", name, resp.Status)
+		return "", statusErr("send to", name, resp)
 	}
 	var out map[string]string
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -353,7 +536,7 @@ func (c *HTTPClient) ReceiveWait(name string, visibility, wait time.Duration) (M
 		}
 		return Message{ID: wm.ID, Body: wm.Body, ReceiptHandle: wm.Receipt, Receives: wm.Receives}, true, nil
 	default:
-		return Message{}, false, fmt.Errorf("queue: receive from %s: %s", name, resp.Status)
+		return Message{}, false, statusErr("receive from", name, resp)
 	}
 }
 
@@ -389,7 +572,7 @@ func (c *HTTPClient) ReceiveBatch(name string, visibility time.Duration, max int
 		}
 		return msgs, nil
 	default:
-		return nil, fmt.Errorf("queue: batch receive from %s: %s", name, resp.Status)
+		return nil, statusErr("batch receive from", name, resp)
 	}
 }
 
@@ -406,7 +589,7 @@ func (c *HTTPClient) SendBatch(name string, bodies [][]byte) ([]string, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
-		return nil, fmt.Errorf("queue: batch send to %s: %s", name, resp.Status)
+		return nil, statusErr("batch send to", name, resp)
 	}
 	var out struct {
 		IDs []string `json:"ids"`
@@ -431,7 +614,7 @@ func (c *HTTPClient) DeleteBatch(name string, receipts []string) ([]error, error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("queue: batch delete in %s: %s", name, resp.Status)
+		return nil, statusErr("batch delete in", name, resp)
 	}
 	var out struct {
 		Errors []string `json:"errors"`
@@ -443,8 +626,8 @@ func (c *HTTPClient) DeleteBatch(name string, receipts []string) ([]error, error
 	for i, e := range out.Errors {
 		switch e {
 		case "":
-		case ErrInvalidReceipt.Error():
-			results[i] = ErrInvalidReceipt
+		case staleReceiptCode:
+			results[i] = ErrStaleReceipt
 		default:
 			results[i] = errors.New(e)
 		}
@@ -463,11 +646,42 @@ func (c *HTTPClient) Delete(name, receipt string) error {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusConflict {
-		return ErrInvalidReceipt
-	}
 	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("queue: delete in %s: %s", name, resp.Status)
+		return statusErr("delete in", name, resp)
 	}
 	return nil
+}
+
+// The remaining methods alias the client's historical names onto the
+// queue.API method set, so *HTTPClient is a drop-in queue.API.
+
+// SendMessage is Send under its queue.API name.
+func (c *HTTPClient) SendMessage(name string, body []byte) (string, error) { return c.Send(name, body) }
+
+// SendMessageBatch is SendBatch under its queue.API name.
+func (c *HTTPClient) SendMessageBatch(name string, bodies [][]byte) ([]string, error) {
+	return c.SendBatch(name, bodies)
+}
+
+// ReceiveMessage is Receive under its queue.API name.
+func (c *HTTPClient) ReceiveMessage(name string, visibility time.Duration) (Message, bool, error) {
+	return c.Receive(name, visibility)
+}
+
+// ReceiveMessageWait is ReceiveWait under its queue.API name.
+func (c *HTTPClient) ReceiveMessageWait(name string, visibility, wait time.Duration) (Message, bool, error) {
+	return c.ReceiveWait(name, visibility, wait)
+}
+
+// ReceiveMessageBatch is ReceiveBatch under its queue.API name.
+func (c *HTTPClient) ReceiveMessageBatch(name string, visibility time.Duration, max int, wait time.Duration) ([]Message, error) {
+	return c.ReceiveBatch(name, visibility, max, wait)
+}
+
+// DeleteMessage is Delete under its queue.API name.
+func (c *HTTPClient) DeleteMessage(name, receipt string) error { return c.Delete(name, receipt) }
+
+// DeleteMessageBatch is DeleteBatch under its queue.API name.
+func (c *HTTPClient) DeleteMessageBatch(name string, receipts []string) ([]error, error) {
+	return c.DeleteBatch(name, receipts)
 }

@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -78,8 +79,8 @@ func TestHTTPVisibilityTimeoutOverWire(t *testing.T) {
 	if m2.Receives != 2 {
 		t.Errorf("receives = %d", m2.Receives)
 	}
-	// Stale handle → 409 → ErrInvalidReceipt.
-	if err := c.Delete("q", m1.ReceiptHandle); err != ErrInvalidReceipt {
+	// Stale handle → 409 → wraps ErrStaleReceipt (née ErrInvalidReceipt).
+	if err := c.Delete("q", m1.ReceiptHandle); !errors.Is(err, ErrStaleReceipt) {
 		t.Errorf("stale delete: %v", err)
 	}
 }
@@ -136,8 +137,8 @@ func TestHTTPErrorStatuses(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("GET /q/ = %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /q/ (list) = %d", resp.StatusCode)
 	}
 	// Bad visibility duration.
 	c.CreateQueue("q")

@@ -138,6 +138,21 @@ type Config struct {
 	Seed int64
 	// Clock defaults to RealClock.
 	Clock Clock
+	// ServiceTime simulates the finite request-processing capacity of
+	// one queue-service process: every billed call occupies one of
+	// ServiceConcurrency request slots for this long before executing.
+	// 0 (the default) disables the simulation entirely. This is the
+	// queue-side analogue of blob.Config.RequestLatency and what makes a
+	// sharded deployment measurable — N services have N times the
+	// request capacity of one. The charge is real wall-clock time
+	// (time.Sleep), deliberately outside the Clock abstraction: it
+	// throttles actual concurrent callers in throughput benchmarks.
+	// Do not combine it with FakeClock — fake time never advances
+	// through it, it only makes every call slow.
+	ServiceTime time.Duration
+	// ServiceConcurrency is the number of simulated request processors
+	// when ServiceTime > 0 (default 8).
+	ServiceConcurrency int
 }
 
 func (c Config) withDefaults() Config {
@@ -150,7 +165,46 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = RealClock{}
 	}
+	if c.ServiceConcurrency == 0 {
+		c.ServiceConcurrency = 8
+	}
 	return c
+}
+
+// RequestCounter implements the billing-attribution model shared by
+// every queue.API implementation that bills its own traffic (Service,
+// shard.Router): a total request count plus per-queue attribution
+// (name → *atomic.Int64) that survives queue deletion, so a
+// multi-tenant deployment can bill each tenant its own traffic.
+type RequestCounter struct {
+	total   atomic.Int64
+	byQueue sync.Map
+}
+
+// Count bills one call addressed to queueName. A batch call counts once
+// regardless of how many messages it moves.
+func (c *RequestCounter) Count(queueName string) {
+	c.total.Add(1)
+	v, ok := c.byQueue.Load(queueName)
+	if !ok {
+		v, _ = c.byQueue.LoadOrStore(queueName, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
+}
+
+// CountUnattributed bills one service-wide call (e.g. ListQueues) that
+// is not addressed to any queue.
+func (c *RequestCounter) CountUnattributed() { c.total.Add(1) }
+
+// Total returns the billed calls so far.
+func (c *RequestCounter) Total() int64 { return c.total.Load() }
+
+// For returns the billed calls addressed to one queue.
+func (c *RequestCounter) For(queueName string) int64 {
+	if v, ok := c.byQueue.Load(queueName); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
 }
 
 // Service is a namespace of queues, the moral equivalent of one SQS
@@ -161,13 +215,12 @@ type Service struct {
 	// per-queue lock instead.
 	mu     sync.RWMutex
 	queues map[string]*queueState
-	// apiRequests counts every service call for the pricing model.
-	apiRequests atomic.Int64
-	// apiByQueue attributes queue-addressed calls to their queue
-	// (name → *atomic.Int64), so a multi-tenant deployment (several jobs
-	// sharing one service) can bill each tenant its own traffic. Counts
-	// survive queue deletion.
-	apiByQueue sync.Map
+	// billing counts every service call for the pricing model.
+	billing RequestCounter
+	// slots throttles billed calls to cfg.ServiceConcurrency concurrent
+	// requests of cfg.ServiceTime each; nil when the capacity simulation
+	// is off.
+	slots chan struct{}
 }
 
 // message is the stored form of one queued item. A live message is in
@@ -224,46 +277,87 @@ func (h *inflightHeap) Pop() any {
 	return m
 }
 
-// Errors returned by the service.
+// Errors returned by the service. Consumers must match them with
+// errors.Is, never by substring: the HTTP client reconstructs them from
+// status codes with extra context wrapped around the sentinel, and the
+// shard router relies on errors.Is to tell "queue deleted" apart from
+// "message owned by another shard".
 var (
-	ErrNoSuchQueue    = errors.New("queue: no such queue")
-	ErrQueueExists    = errors.New("queue: queue already exists")
-	ErrInvalidReceipt = errors.New("queue: invalid or stale receipt handle")
+	ErrNoSuchQueue = errors.New("queue: no such queue")
+	ErrQueueExists = errors.New("queue: queue already exists")
+	// ErrStaleReceipt rejects a receipt handle that is not the message's
+	// latest lease — the message timed out and was redelivered, or the
+	// handle never existed. Only the latest receipt is authoritative,
+	// matching SQS.
+	ErrStaleReceipt   = errors.New("queue: invalid or stale receipt handle")
 	ErrEmptyQueueName = errors.New("queue: empty queue name")
 	ErrBatchSize      = fmt.Errorf("queue: batch must hold 1..%d entries", MaxBatch)
 )
 
+// ErrInvalidReceipt is the historical name of ErrStaleReceipt; both
+// names compare equal under errors.Is.
+var ErrInvalidReceipt = ErrStaleReceipt
+
+// API is the queue-service surface shared by every implementation: the
+// in-process Service, the HTTPClient speaking to a remote service, and
+// shard.Router fanning one namespace across many services. Consumers
+// (classiccloud, broker, twister) program against this interface, so a
+// deployment can swap a single service for a sharded front without
+// touching them.
+type API interface {
+	CreateQueue(name string) error
+	DeleteQueue(name string) error
+	ListQueues() []string
+	SendMessage(queueName string, body []byte) (string, error)
+	SendMessageBatch(queueName string, bodies [][]byte) ([]string, error)
+	ReceiveMessage(queueName string, visibility time.Duration) (Message, bool, error)
+	ReceiveMessageWait(queueName string, visibility, wait time.Duration) (Message, bool, error)
+	ReceiveMessageBatch(queueName string, visibility time.Duration, max int, wait time.Duration) ([]Message, error)
+	DeleteMessage(queueName, receiptHandle string) error
+	DeleteMessageBatch(queueName string, receipts []string) ([]error, error)
+	ChangeVisibility(queueName, receiptHandle string, d time.Duration) error
+	ApproximateCount(queueName string) (visible, inflight int, err error)
+	Purge(queueName string) error
+	APIRequests() int64
+	APIRequestsFor(queueName string) int64
+}
+
+var _ API = (*Service)(nil)
+
 // NewService creates a queue service.
 func NewService(cfg Config) *Service {
-	return &Service{
+	s := &Service{
 		cfg:    cfg.withDefaults(),
 		queues: make(map[string]*queueState),
 	}
+	if s.cfg.ServiceTime > 0 {
+		s.slots = make(chan struct{}, s.cfg.ServiceConcurrency)
+	}
+	return s
 }
 
 // APIRequests returns the total number of billed API calls so far.
 func (s *Service) APIRequests() int64 {
-	return s.apiRequests.Load()
+	return s.billing.Total()
 }
 
 // APIRequestsFor returns the billed API calls addressed to one queue
 // (service-wide calls like ListQueues are not attributed).
 func (s *Service) APIRequestsFor(queueName string) int64 {
-	if c, ok := s.apiByQueue.Load(queueName); ok {
-		return c.(*atomic.Int64).Load()
-	}
-	return 0
+	return s.billing.For(queueName)
 }
 
-// count bills one API call addressed to queueName. A batch call counts
-// once regardless of how many messages it moves.
+// count bills one API call addressed to queueName. With ServiceTime set
+// it also charges the simulated request-processing cost, before any
+// lock is taken, so concurrent callers queue on the service's capacity
+// rather than on its state.
 func (s *Service) count(queueName string) {
-	s.apiRequests.Add(1)
-	c, ok := s.apiByQueue.Load(queueName)
-	if !ok {
-		c, _ = s.apiByQueue.LoadOrStore(queueName, new(atomic.Int64))
+	s.billing.Count(queueName)
+	if s.slots != nil {
+		s.slots <- struct{}{}
+		time.Sleep(s.cfg.ServiceTime)
+		<-s.slots
 	}
-	c.(*atomic.Int64).Add(1)
 }
 
 // getQueue resolves a live queue by name.
@@ -329,7 +423,7 @@ func (s *Service) DeleteQueue(name string) error {
 
 // ListQueues returns queue names sorted.
 func (s *Service) ListQueues() []string {
-	s.apiRequests.Add(1)
+	s.billing.CountUnattributed()
 	s.mu.RLock()
 	names := make([]string, 0, len(s.queues))
 	for n := range s.queues {

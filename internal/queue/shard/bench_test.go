@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+)
+
+// BenchmarkShardRingOwner measures the routing decision itself: one
+// binary search over the vnode points.
+func BenchmarkShardRingOwner(b *testing.B) {
+	r := ringWith(64, "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7")
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("job-%d-tasks", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.owner(keys[i%len(keys)]); !ok {
+			b.Fatal("no owner")
+		}
+	}
+}
+
+// BenchmarkShardRouterCycle measures the router's added cost on a full
+// send→receive→delete cycle against an uncontended local shard.
+func BenchmarkShardRouterCycle(b *testing.B) {
+	r := NewRouter(Config{})
+	defer r.Close()
+	for i := 0; i < 4; i++ {
+		if err := r.AddShard(fmt.Sprintf("s%d", i), queue.NewService(queue.Config{Seed: int64(i + 1)})); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := r.CreateQueue("bench"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.SendMessage("bench", []byte("task")); err != nil {
+			b.Fatal(err)
+		}
+		m, ok, err := r.ReceiveMessage("bench", time.Hour)
+		if err != nil || !ok {
+			b.Fatal(err)
+		}
+		if err := r.DeleteMessage("bench", m.ReceiptHandle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardRebalance measures a topology change: 64 empty queues,
+// one shard added, migrations included.
+func BenchmarkShardRebalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := NewRouter(Config{})
+		for s := 0; s < 4; s++ {
+			if err := r.AddShard(fmt.Sprintf("s%d", s), queue.NewService(queue.Config{Seed: int64(s + 1)})); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for q := 0; q < 64; q++ {
+			if err := r.CreateQueue(fmt.Sprintf("q%d", q)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := r.AddShard("s4", queue.NewService(queue.Config{Seed: 99})); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		r.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,379 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/queue"
+)
+
+// AddShard registers a backend — a local *queue.Service or a remote
+// *queue.HTTPClient — under id and rebalances: every queue whose ring
+// owner changed (≈1/(N+1) of them, all onto the new shard) is migrated
+// by drain-and-forward before AddShard returns. Straggler forwarding
+// for messages in flight on the old owners continues in the background.
+func (r *Router) AddShard(id string, backend queue.API) error {
+	if id == "" || strings.Contains(id, receiptSep) {
+		return ErrBadShardID
+	}
+	if backend == nil {
+		return fmt.Errorf("shard: nil backend for %q", id)
+	}
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	r.mu.Lock()
+	if _, ok := r.shards[id]; ok {
+		// Ids are not reusable while a retired shard may still hold
+		// straggler leases under the same name.
+		r.mu.Unlock()
+		return ErrShardExists
+	}
+	r.ring.add(id)
+	r.shards[id] = backend
+	moves := r.pendingMovesLocked()
+	r.mu.Unlock()
+	return r.runMoves(moves)
+}
+
+// RemoveShard takes a shard off the ring and migrates its queues to
+// their new ring owners. The backend stays registered (retired) so
+// receipts it issued keep resolving and forwarders can move its
+// remaining in-flight messages as their leases expire.
+func (r *Router) RemoveShard(id string) error {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	r.mu.Lock()
+	if !r.ring.ids[id] {
+		r.mu.Unlock()
+		return ErrNoSuchShard
+	}
+	if len(r.ring.ids) == 1 && len(r.routes) > 0 {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: cannot remove last shard %q while it holds queues: %w", id, ErrNoShards)
+	}
+	r.ring.remove(id)
+	moves := r.pendingMovesLocked()
+	r.mu.Unlock()
+	return r.runMoves(moves)
+}
+
+// pendingMove is one queue whose route disagrees with the ring.
+type pendingMove struct {
+	name     string
+	rt       *route
+	from, to string
+}
+
+// pendingMovesLocked lists the queues whose current owner is no longer
+// their ring owner. Caller holds r.mu.
+func (r *Router) pendingMovesLocked() []pendingMove {
+	var moves []pendingMove
+	for name, rt := range r.routes {
+		owner, ok := r.ring.owner(name)
+		if !ok {
+			continue
+		}
+		rt.mu.Lock()
+		cur := rt.shard
+		rt.mu.Unlock()
+		if owner != cur {
+			moves = append(moves, pendingMove{name: name, rt: rt, from: cur, to: owner})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].name < moves[j].name })
+	return moves
+}
+
+// runMoves migrates each queue in turn, attempting every move even
+// when one fails — aborting on the first error would leave the rest of
+// the namespace diverged from the already-updated ring with no record
+// of which queues were skipped. Failed moves stay routed to their old
+// shard (fully usable) and converge on the next Rebalance. Caller
+// holds topoMu.
+func (r *Router) runMoves(moves []pendingMove) error {
+	var errs []error
+	for _, m := range moves {
+		if err := r.migrate(m); err != nil {
+			errs = append(errs, fmt.Errorf("shard: migrating %s from %s to %s: %w", m.name, m.from, m.to, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Rebalance re-runs every migration the current ring implies —
+// queues whose route disagrees with their ring owner, e.g. after an
+// AddShard whose drain hit a transient error. It is idempotent: with
+// nothing pending it does nothing and returns nil.
+func (r *Router) Rebalance() error {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	r.mu.Lock()
+	moves := r.pendingMovesLocked()
+	r.mu.Unlock()
+	return r.runMoves(moves)
+}
+
+// migrate moves one queue: freeze, stream the visible backlog to the
+// new owner, switch the route, thaw, and leave a forwarder watching the
+// old shard for in-flight messages that expire back into visibility.
+// On error the route is left on the old shard and the queue stays
+// usable — at worst some already-streamed messages are redelivered from
+// the new owner later, within the at-least-once contract.
+func (r *Router) migrate(m pendingMove) error {
+	r.mu.RLock()
+	fromB, toB := r.shards[m.from], r.shards[m.to]
+	r.mu.RUnlock()
+	if fromB == nil || toB == nil {
+		return ErrNoSuchShard
+	}
+
+	// Freeze: new operations on the queue block until the thaw. An
+	// existing freeze (CreateQueue publishing the route) is waited out
+	// first — overwriting its channel would strand its waiters.
+	var frozen chan struct{}
+	for {
+		m.rt.mu.Lock()
+		if m.rt.shard != m.from || m.rt.dead {
+			// Re-routed or deleted since the move was computed; nothing
+			// to do. The dead check matters: streaming a deleted
+			// queue's messages would plant a ghost copy on the new
+			// owner.
+			m.rt.mu.Unlock()
+			return nil
+		}
+		if m.rt.frozen == nil {
+			frozen = make(chan struct{})
+			m.rt.frozen = frozen
+			m.rt.mu.Unlock()
+			break
+		}
+		ch := m.rt.frozen
+		m.rt.mu.Unlock()
+		<-ch
+	}
+
+	// abort thaws with the route unchanged. Batches already streamed to
+	// the new owner would otherwise sit there invisibly (the route
+	// still points at the old shard, and nothing revisits them until
+	// the next topology change) — so a forwarder is left watching the
+	// new owner to carry them back to wherever the route points.
+	streamed := false
+	abort := func() {
+		m.rt.mu.Lock()
+		spawnBack := streamed && !m.rt.draining[m.to]
+		if spawnBack {
+			m.rt.draining[m.to] = true
+		}
+		close(frozen)
+		m.rt.frozen = nil
+		m.rt.mu.Unlock()
+		if spawnBack {
+			r.fwd.Add(1)
+			go r.forward(m.name, m.rt, m.to, toB)
+		}
+	}
+
+	if err := toB.CreateQueue(m.name); err != nil && !errors.Is(err, queue.ErrQueueExists) {
+		abort()
+		return err
+	}
+
+	// Stream the visible backlog. Receivers that raced the freeze hold
+	// leases on the old shard; those messages are not visible and are
+	// handled by their receipts or the forwarder.
+	for {
+		msgs, err := fromB.ReceiveMessageBatch(m.name, r.cfg.DrainVisibility, queue.MaxBatch, 0)
+		if errors.Is(err, queue.ErrNoSuchQueue) {
+			// Deleted under the freeze (DeleteQueue waits, but the queue
+			// may have been gone before the move started).
+			break
+		}
+		if err != nil {
+			abort()
+			return err
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		bodies := make([][]byte, len(msgs))
+		receipts := make([]string, len(msgs))
+		for i, msg := range msgs {
+			bodies[i] = msg.Body
+			receipts[i] = msg.ReceiptHandle
+		}
+		// Send before delete: a failure between the two redelivers from
+		// the old shard instead of losing messages.
+		if _, err := toB.SendMessageBatch(m.name, bodies); err != nil {
+			abort()
+			return err
+		}
+		streamed = true
+		if _, err := fromB.DeleteMessageBatch(m.name, receipts); err != nil && !errors.Is(err, queue.ErrNoSuchQueue) {
+			abort()
+			return err
+		}
+	}
+
+	// Switch the route and thaw; stragglers drain in the background.
+	// A forwarder may already be watching m.from (the queue moved off
+	// it, back on, and off again before the first forwarder finished);
+	// spawn a second one only if there isn't one.
+	m.rt.mu.Lock()
+	m.rt.shard = m.to
+	alreadyForwarding := m.rt.draining[m.from]
+	m.rt.draining[m.from] = true
+	close(frozen)
+	m.rt.frozen = nil
+	m.rt.mu.Unlock()
+
+	if !alreadyForwarding {
+		r.fwd.Add(1)
+		go r.forward(m.name, m.rt, m.from, fromB)
+	}
+	return nil
+}
+
+// forward watches a queue's old shard after migration. Messages the
+// drain could not take — in flight, leased to live consumers — either
+// get deleted through their (shard-routed) receipts or expire back to
+// visible, in which case they are forwarded to the current owner. When
+// the old queue is empty it is deleted; at the lease horizon the
+// forwarder gives up and leaves it, so outstanding receipts stay valid.
+//
+// Idle polls back off exponentially from ForwardInterval to a quarter
+// of DrainVisibility: every poll is a billed request (a real HTTP round
+// trip on a remote shard), and consumers holding long heartbeat-renewed
+// leases would otherwise draw a constant poll stream for the whole
+// lease.
+func (r *Router) forward(name string, rt *route, from string, fromB queue.API) {
+	defer r.fwd.Done()
+	// migratedBack records why the forwarder exits. When the queue
+	// moved back onto `from` and then off again before this exit ran,
+	// the new migration saw draining[from] set and refrained from
+	// spawning a twin — so instead of dropping the entry (stranding
+	// whatever is leased on `from`), hand the watch to a fresh
+	// forwarder.
+	migratedBack := false
+	defer func() {
+		rt.mu.Lock()
+		if migratedBack && rt.shard != from {
+			rt.mu.Unlock()
+			r.fwd.Add(1) // before Done (deferred earlier, runs later)
+			go r.forward(name, rt, from, fromB)
+			return
+		}
+		delete(rt.draining, from)
+		rt.mu.Unlock()
+	}()
+	deadline := time.Now().Add(r.cfg.LeaseHorizon)
+	interval := r.cfg.ForwardInterval
+	maxInterval := r.cfg.DrainVisibility / 4
+	if maxInterval < interval {
+		maxInterval = interval
+	}
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+		case <-r.closing:
+			return
+		}
+		// If the queue migrated back onto the shard being watched, the
+		// "old" copy IS the live queue: stop without touching it.
+		rt.mu.Lock()
+		owner := rt.shard
+		rt.mu.Unlock()
+		if owner == from {
+			migratedBack = true
+			return
+		}
+		visible, inflight, err := fromB.ApproximateCount(name)
+		if errors.Is(err, queue.ErrNoSuchQueue) {
+			return // queue gone — deleted or already cleaned up
+		}
+		if err != nil {
+			// Transient failure (a remote shard hiccup): back off and
+			// keep watching — exiting here would strand whatever is
+			// still leased on the old shard.
+			if interval *= 2; interval > maxInterval {
+				interval = maxInterval
+			}
+			if time.Now().After(deadline) {
+				return
+			}
+			timer.Reset(interval)
+			continue
+		}
+		if visible > 0 {
+			r.forwardVisible(name, fromB)
+			interval = r.cfg.ForwardInterval // progress: poll eagerly again
+			timer.Reset(interval)
+			continue // re-check counts before deciding to stop
+		}
+		if interval *= 2; interval > maxInterval {
+			interval = maxInterval
+		}
+		if inflight == 0 {
+			// Delete under topoMu so no migration can land the queue
+			// back on this shard between the emptiness check and the
+			// delete; both are re-verified once topology is pinned.
+			r.topoMu.Lock()
+			rt.mu.Lock()
+			owner = rt.shard
+			rt.mu.Unlock()
+			stop := false
+			if owner == from {
+				stop = true // live again; leave it alone
+				migratedBack = true
+			} else if v, inf, cerr := fromB.ApproximateCount(name); errors.Is(cerr, queue.ErrNoSuchQueue) {
+				stop = true // already gone
+			} else if cerr == nil && v == 0 && inf == 0 {
+				_ = fromB.DeleteQueue(name)
+				stop = true
+			}
+			// A transient count error falls through: keep watching.
+			r.topoMu.Unlock()
+			if stop {
+				return
+			}
+			// Refilled while unguarded; keep forwarding eagerly.
+			interval = r.cfg.ForwardInterval
+			timer.Reset(interval)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		timer.Reset(interval)
+	}
+}
+
+// forwardVisible moves one round of expired stragglers from the old
+// shard to the queue's current owner (resolved per batch, so chained
+// migrations land messages on the newest owner).
+func (r *Router) forwardVisible(name string, fromB queue.API) {
+	for {
+		msgs, err := fromB.ReceiveMessageBatch(name, r.cfg.DrainVisibility, queue.MaxBatch, 0)
+		if err != nil || len(msgs) == 0 {
+			return
+		}
+		bodies := make([][]byte, len(msgs))
+		receipts := make([]string, len(msgs))
+		for i, msg := range msgs {
+			bodies[i] = msg.Body
+			receipts[i] = msg.ReceiptHandle
+		}
+		_, ownerB, err := r.ownerBackend(name)
+		if err != nil {
+			return // queue deleted while forwarding
+		}
+		if _, err := ownerB.SendMessageBatch(name, bodies); err != nil {
+			return
+		}
+		_, _ = fromB.DeleteMessageBatch(name, receipts)
+	}
+}

@@ -1,0 +1,133 @@
+// Package shard fronts N queue services with one queue.API: a
+// consistent-hash router maps queue names to shards, so a namespace
+// that outgrows one service process spreads across many without the
+// consumers (classiccloud, broker, twister) changing a line.
+//
+// # Ring
+//
+// Each shard contributes VirtualNodes points to a hash ring; a queue
+// lives on the shard owning the first point at or after the hash of its
+// name. Virtual nodes keep the split even, and — the property the
+// router's rebalancing depends on — adding a shard to an N-shard ring
+// moves only ~1/(N+1) of the queues, all of them onto the new shard.
+//
+// # Migration
+//
+// Shards can be added and removed at runtime. Moving a queue is
+// drain-and-forward: the router freezes the queue (new operations
+// block), streams the visible backlog to the new owner, then thaws with
+// the route switched. Messages in flight on the old shard stay there
+// until their consumer deletes them — receipt handles embed the issuing
+// shard, so acknowledgements and lease renewals keep routing to it —
+// and a background forwarder moves any that expire instead, until the
+// old queue is empty or the lease horizon passes. Work is never lost
+// and never duplicated beyond the at-least-once contract the queue
+// already has.
+//
+// One caveat follows from moving messages through the public queue API
+// (which is what lets shards be remote): a migrated message is a fresh
+// send on the new owner, so its delivery count restarts — like an SQS
+// queue-to-queue move. A poison task's progress toward a MaxReceives
+// dead-letter cap resets when its queue migrates; topology changes are
+// rare operator events, so the cap still trips, just later. Preserving
+// counts would need a privileged transfer API (see ROADMAP).
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over shard ids. It is not
+// concurrency-safe; the Router guards it.
+type ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	ids    map[string]bool
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+func newRing(vnodes int) *ring {
+	return &ring{vnodes: vnodes, ids: make(map[string]bool)}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is splitmix64's finalizer. FNV alone clusters the short,
+// similar strings queue and vnode names are made of, which skews the
+// ring arcs badly; the avalanche pass spreads them uniformly while
+// staying deterministic across processes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// add registers a shard's virtual nodes.
+func (r *ring) add(id string) {
+	if r.ids[id] {
+		return
+	}
+	r.ids[id] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", id, v)), id})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// remove drops a shard's virtual nodes.
+func (r *ring) remove(id string) {
+	if !r.ids[id] {
+		return
+	}
+	delete(r.ids, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// owner returns the shard owning key, or ok=false on an empty ring.
+// The ring walk is deterministic: every process with the same member
+// set computes the same owner.
+func (r *ring) owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard, true
+}
+
+// members returns the shard ids on the ring, sorted.
+func (r *ring) members() []string {
+	out := make([]string, 0, len(r.ids))
+	for id := range r.ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(vnodes int, ids ...string) *ring {
+	r := newRing(vnodes)
+	for _, id := range ids {
+		r.add(id)
+	}
+	return r
+}
+
+// TestRingDeterminism: two rings built from the same members — in any
+// order — agree on every owner, so independent processes route alike.
+func TestRingDeterminism(t *testing.T) {
+	a := ringWith(64, "s0", "s1", "s2", "s3")
+	b := ringWith(64, "s3", "s1", "s0", "s2")
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("job-%d-tasks", i)
+		ao, _ := a.owner(key)
+		bo, _ := b.owner(key)
+		if ao != bo {
+			t.Fatalf("owner(%q) differs: %s vs %s", key, ao, bo)
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, no shard owns a wildly
+// disproportionate share of 1000 queues.
+func TestRingBalance(t *testing.T) {
+	r := ringWith(64, "s0", "s1", "s2", "s3")
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		o, ok := r.owner(fmt.Sprintf("job-%d-tasks", i))
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[o]++
+	}
+	for id, n := range counts {
+		if n < 100 || n > 450 {
+			t.Errorf("shard %s owns %d/1000 queues — ring badly balanced: %v", id, n, counts)
+		}
+	}
+}
+
+// TestRingRebalanceBound: adding a shard to an N-shard ring moves only
+// queues that land on the new shard, and not many more than K/(N+1).
+func TestRingRebalanceBound(t *testing.T) {
+	const keys, n = 1000, 4
+	r := ringWith(64, "s0", "s1", "s2", "s3")
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("job-%d-tasks", i)
+		before[k], _ = r.owner(k)
+	}
+	r.add("s4")
+	moved := 0
+	for k, old := range before {
+		now, _ := r.owner(k)
+		if now == old {
+			continue
+		}
+		moved++
+		if now != "s4" {
+			t.Errorf("key %q moved %s→%s, not to the new shard", k, old, now)
+		}
+	}
+	// Expectation is keys/(n+1) = 200; allow 2x slack for hash variance.
+	if moved == 0 || moved > 2*keys/(n+1) {
+		t.Errorf("adding 1 shard to %d moved %d/%d queues (expected ≈%d)", n, moved, keys, keys/(n+1))
+	}
+}
+
+// TestRingRemoveRestores: removing the shard just added restores every
+// prior assignment — membership alone defines the mapping.
+func TestRingRemoveRestores(t *testing.T) {
+	r := ringWith(64, "s0", "s1", "s2")
+	before := make(map[string]string)
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("q%d", i)
+		before[k], _ = r.owner(k)
+	}
+	r.add("s3")
+	r.remove("s3")
+	for k, old := range before {
+		if now, _ := r.owner(k); now != old {
+			t.Fatalf("owner(%q) = %s after add+remove, was %s", k, now, old)
+		}
+	}
+	if _, ok := ringWith(64).owner("q"); ok {
+		t.Error("empty ring claimed an owner")
+	}
+}

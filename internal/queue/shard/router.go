@@ -1,0 +1,642 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/queue"
+)
+
+// Errors returned by the router itself; data-plane calls return the
+// queue package's sentinels so consumers cannot tell a router from a
+// single service.
+var (
+	ErrNoShards    = errors.New("shard: no shards registered")
+	ErrShardExists = errors.New("shard: shard id already registered")
+	ErrNoSuchShard = errors.New("shard: no such shard")
+	ErrBadShardID  = errors.New("shard: shard id must be non-empty and must not contain '~'")
+)
+
+// receiptSep joins the issuing shard's id to a receipt handle. Receipts
+// must route to the shard that issued the lease — not the queue's
+// current owner — so acknowledgements keep working while a queue
+// migrates away from in-flight messages.
+const receiptSep = "~"
+
+func wrapReceipt(shardID, receipt string) string { return shardID + receiptSep + receipt }
+
+func splitReceipt(wrapped string) (shardID, receipt string, ok bool) {
+	i := strings.Index(wrapped, receiptSep)
+	if i <= 0 {
+		return "", "", false
+	}
+	return wrapped[:i], wrapped[i+1:], true
+}
+
+// Config tunes the router.
+type Config struct {
+	// VirtualNodes per shard on the hash ring (default 64). More nodes
+	// spread queues more evenly at the cost of a larger ring.
+	VirtualNodes int
+	// DrainVisibility is the lease the migrator takes on messages it
+	// streams between shards (default 1m): long enough to move a batch,
+	// short enough that a crashed migration redelivers quickly.
+	DrainVisibility time.Duration
+	// ForwardInterval is how often a straggler forwarder polls the old
+	// shard after a migration (default 10ms).
+	ForwardInterval time.Duration
+	// LeaseHorizon bounds how long a forwarder keeps watching the old
+	// shard for expiring in-flight messages (default 1h). Past it the
+	// old queue is left in place so outstanding receipts stay valid,
+	// but nothing is forwarded any more.
+	LeaseHorizon time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.VirtualNodes == 0 {
+		c.VirtualNodes = 64
+	}
+	if c.DrainVisibility == 0 {
+		c.DrainVisibility = time.Minute
+	}
+	if c.ForwardInterval == 0 {
+		c.ForwardInterval = 10 * time.Millisecond
+	}
+	if c.LeaseHorizon == 0 {
+		c.LeaseHorizon = time.Hour
+	}
+	return c
+}
+
+// Router fronts N queue services with one queue.API. Queue names map to
+// shards through a consistent-hash ring; every data-plane call is
+// forwarded to the owning shard, receipts route back to the shard that
+// issued them, and shards can be added or removed at runtime with
+// drain-and-forward queue migration.
+type Router struct {
+	cfg Config
+
+	// topoMu serializes topology changes (AddShard / RemoveShard) and
+	// the migrations they trigger.
+	topoMu sync.Mutex
+
+	// mu guards ring, shards, and routes.
+	mu     sync.RWMutex
+	ring   *ring
+	shards map[string]queue.API
+	routes map[string]*route
+
+	// billing mirrors queue.Service: one request per routed call,
+	// attributed to the addressed queue, so the broker's per-tenant
+	// accounting works unchanged against a sharded deployment.
+	billing queue.RequestCounter
+
+	closing   chan struct{}
+	closeOnce sync.Once
+	fwd       sync.WaitGroup
+}
+
+// route is one queue's placement.
+type route struct {
+	mu sync.Mutex
+	// shard currently owning the queue.
+	shard string
+	// frozen is non-nil while the queue migrates; operations wait for
+	// it to close (the thaw) and then resolve the new owner.
+	frozen chan struct{}
+	// dead marks a route whose queue was deleted; a pending migration
+	// that has not frozen yet must abort rather than stream a deleted
+	// queue's messages onto the new owner.
+	dead bool
+	// draining holds old shards whose in-flight stragglers a background
+	// forwarder is still moving over.
+	draining map[string]bool
+}
+
+var _ queue.API = (*Router)(nil)
+
+// NewRouter creates an empty router; add shards before creating queues.
+func NewRouter(cfg Config) *Router {
+	c := cfg.withDefaults()
+	return &Router{
+		cfg:     c,
+		ring:    newRing(c.VirtualNodes),
+		shards:  make(map[string]queue.API),
+		routes:  make(map[string]*route),
+		closing: make(chan struct{}),
+	}
+}
+
+// Close stops the background straggler forwarders and waits for them.
+// Data-plane calls keep working; Close only abandons migrations'
+// tail work.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() { close(r.closing) })
+	r.fwd.Wait()
+}
+
+// count bills one routed call addressed to queueName, through the same
+// attribution model queue.Service uses.
+func (r *Router) count(queueName string) { r.billing.Count(queueName) }
+
+// APIRequests returns the total routed calls billed by the router.
+func (r *Router) APIRequests() int64 { return r.billing.Total() }
+
+// APIRequestsFor returns the routed calls addressed to one queue.
+func (r *Router) APIRequestsFor(queueName string) int64 { return r.billing.For(queueName) }
+
+// ownerBackend resolves the queue's owning shard, waiting out any
+// in-progress migration.
+func (r *Router) ownerBackend(queueName string) (string, queue.API, error) {
+	r.mu.RLock()
+	rt := r.routes[queueName]
+	r.mu.RUnlock()
+	if rt == nil {
+		return "", nil, queue.ErrNoSuchQueue
+	}
+	for {
+		rt.mu.Lock()
+		if rt.frozen == nil {
+			id := rt.shard
+			rt.mu.Unlock()
+			r.mu.RLock()
+			b := r.shards[id]
+			r.mu.RUnlock()
+			if b == nil {
+				return "", nil, queue.ErrNoSuchQueue
+			}
+			return id, b, nil
+		}
+		ch := rt.frozen
+		rt.mu.Unlock()
+		<-ch
+	}
+}
+
+// onOwner runs fn against the queue's owning shard. When the shard
+// answers ErrNoSuchQueue but the route has moved since the call was
+// dispatched (a migration completed underneath it), the call retries on
+// the new owner — the sentinel lets the router tell "wrong shard" from
+// "queue deleted".
+func (r *Router) onOwner(queueName string, fn func(shardID string, b queue.API) error) error {
+	for attempt := 0; ; attempt++ {
+		id, b, err := r.ownerBackend(queueName)
+		if err != nil {
+			return err
+		}
+		err = fn(id, b)
+		if err == nil || !errors.Is(err, queue.ErrNoSuchQueue) || attempt >= 2 {
+			return err
+		}
+		newID, _, rerr := r.ownerBackend(queueName)
+		if rerr != nil || newID == id {
+			return err
+		}
+	}
+}
+
+// CreateQueue places a new queue on its ring owner. The route is
+// published frozen and thawed only after the backend queue exists:
+// concurrent operations (and a concurrent AddShard's migration) wait
+// instead of finding a route whose shard has no queue yet — a
+// half-created queue migrated in that window would leave an orphan
+// copy on the old owner.
+func (r *Router) CreateQueue(name string) error {
+	if name == "" {
+		return queue.ErrEmptyQueueName
+	}
+	r.count(name)
+	r.mu.Lock()
+	if _, ok := r.routes[name]; ok {
+		r.mu.Unlock()
+		return queue.ErrQueueExists
+	}
+	owner, ok := r.ring.owner(name)
+	if !ok {
+		r.mu.Unlock()
+		return ErrNoShards
+	}
+	rt := &route{shard: owner, frozen: make(chan struct{}), draining: make(map[string]bool)}
+	r.routes[name] = rt
+	b := r.shards[owner]
+	r.mu.Unlock()
+	err := b.CreateQueue(name)
+	if err != nil && !errors.Is(err, queue.ErrQueueExists) {
+		r.mu.Lock()
+		// Only remove our own route: a concurrent DeleteQueue may have
+		// removed it already and a later CreateQueue published a new
+		// one, which must not be torn down by this failure.
+		if r.routes[name] == rt {
+			delete(r.routes, name)
+		}
+		r.mu.Unlock()
+	} else {
+		err = nil
+	}
+	rt.mu.Lock()
+	if err != nil {
+		rt.dead = true
+	}
+	// Never reset dead: a concurrent DeleteQueue may have marked the
+	// route while we held it frozen.
+	close(rt.frozen)
+	rt.frozen = nil
+	rt.mu.Unlock()
+	return err
+}
+
+// DeleteQueue removes a queue from its owner and from every old shard
+// still draining stragglers.
+func (r *Router) DeleteQueue(name string) error {
+	r.count(name)
+	r.mu.Lock()
+	rt := r.routes[name]
+	if rt == nil {
+		r.mu.Unlock()
+		return queue.ErrNoSuchQueue
+	}
+	delete(r.routes, name)
+	r.mu.Unlock()
+	// Mark the route dead (a migration computed before the removal must
+	// not stream this queue's messages anywhere) and wait out any
+	// migration already in flight so the drain isn't racing the
+	// teardown — once it thaws, the snapshot below covers the new owner.
+	var owner string
+	var olds []string
+	for {
+		rt.mu.Lock()
+		rt.dead = true
+		if rt.frozen == nil {
+			owner = rt.shard
+			for id := range rt.draining {
+				olds = append(olds, id)
+			}
+			rt.mu.Unlock()
+			break
+		}
+		ch := rt.frozen
+		rt.mu.Unlock()
+		<-ch
+	}
+	r.mu.RLock()
+	b := r.shards[owner]
+	oldBs := make([]queue.API, 0, len(olds))
+	for _, id := range olds {
+		if ob := r.shards[id]; ob != nil {
+			oldBs = append(oldBs, ob)
+		}
+	}
+	r.mu.RUnlock()
+	var err error
+	if b != nil {
+		err = b.DeleteQueue(name)
+	}
+	for _, ob := range oldBs {
+		_ = ob.DeleteQueue(name) // forwarder may have beaten us to it
+	}
+	return err
+}
+
+// ListQueues returns every routed queue name, sorted.
+func (r *Router) ListQueues() []string {
+	r.billing.CountUnattributed()
+	r.mu.RLock()
+	names := make([]string, 0, len(r.routes))
+	for n := range r.routes {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// SendMessage enqueues on the owning shard.
+func (r *Router) SendMessage(queueName string, body []byte) (string, error) {
+	r.count(queueName)
+	var id string
+	err := r.onOwner(queueName, func(_ string, b queue.API) error {
+		var err error
+		id, err = b.SendMessage(queueName, body)
+		return err
+	})
+	return id, err
+}
+
+// SendMessageBatch enqueues a batch on the owning shard.
+func (r *Router) SendMessageBatch(queueName string, bodies [][]byte) ([]string, error) {
+	if len(bodies) == 0 || len(bodies) > queue.MaxBatch {
+		return nil, queue.ErrBatchSize
+	}
+	r.count(queueName)
+	var ids []string
+	err := r.onOwner(queueName, func(_ string, b queue.API) error {
+		var err error
+		ids, err = b.SendMessageBatch(queueName, bodies)
+		return err
+	})
+	return ids, err
+}
+
+// ReceiveMessage pops one message from the owning shard.
+func (r *Router) ReceiveMessage(queueName string, visibility time.Duration) (queue.Message, bool, error) {
+	return r.ReceiveMessageWait(queueName, visibility, 0)
+}
+
+// ReceiveMessageWait long-polls the owning shard; the wait happens on
+// the shard so a send through the router wakes the receiver there.
+func (r *Router) ReceiveMessageWait(queueName string, visibility, wait time.Duration) (queue.Message, bool, error) {
+	r.count(queueName)
+	var m queue.Message
+	var ok bool
+	err := r.onOwner(queueName, func(id string, b queue.API) error {
+		var err error
+		m, ok, err = b.ReceiveMessageWait(queueName, visibility, wait)
+		if ok {
+			m.ReceiptHandle = wrapReceipt(id, m.ReceiptHandle)
+		}
+		return err
+	})
+	if err != nil {
+		return queue.Message{}, false, err
+	}
+	return m, ok, nil
+}
+
+// ReceiveMessageBatch receives up to max messages from the owning shard.
+func (r *Router) ReceiveMessageBatch(queueName string, visibility time.Duration, max int, wait time.Duration) ([]queue.Message, error) {
+	if max <= 0 || max > queue.MaxBatch {
+		return nil, queue.ErrBatchSize
+	}
+	r.count(queueName)
+	var msgs []queue.Message
+	err := r.onOwner(queueName, func(id string, b queue.API) error {
+		var err error
+		msgs, err = b.ReceiveMessageBatch(queueName, visibility, max, wait)
+		for i := range msgs {
+			msgs[i].ReceiptHandle = wrapReceipt(id, msgs[i].ReceiptHandle)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return msgs, nil
+}
+
+// receiptBackend resolves the shard a receipt was issued by. The queue
+// must still be routed; a receipt whose shard is gone — or whose shard
+// has since lost the queue to a migration — is stale, not missing: the
+// message was moved and only its next delivery's receipt counts.
+func (r *Router) receiptBackend(queueName, wrapped string) (queue.API, string, error) {
+	r.mu.RLock()
+	rt := r.routes[queueName]
+	r.mu.RUnlock()
+	if rt == nil {
+		return nil, "", queue.ErrNoSuchQueue
+	}
+	id, raw, ok := splitReceipt(wrapped)
+	if !ok {
+		return nil, "", fmt.Errorf("shard: unroutable receipt %q: %w", wrapped, queue.ErrStaleReceipt)
+	}
+	r.mu.RLock()
+	b := r.shards[id]
+	r.mu.RUnlock()
+	if b == nil {
+		return nil, "", fmt.Errorf("shard: receipt from unknown shard %q: %w", id, queue.ErrStaleReceipt)
+	}
+	return b, raw, nil
+}
+
+// DeleteMessage acknowledges by receipt, routed to the issuing shard.
+func (r *Router) DeleteMessage(queueName, receiptHandle string) error {
+	r.count(queueName)
+	b, raw, err := r.receiptBackend(queueName, receiptHandle)
+	if err != nil {
+		return err
+	}
+	err = b.DeleteMessage(queueName, raw)
+	if errors.Is(err, queue.ErrNoSuchQueue) {
+		return fmt.Errorf("shard: queue %s migrated off the issuing shard: %w", queueName, queue.ErrStaleReceipt)
+	}
+	return err
+}
+
+// DeleteMessageBatch acknowledges a batch, grouping receipts by issuing
+// shard; entries keep their per-receipt error positions.
+func (r *Router) DeleteMessageBatch(queueName string, receipts []string) ([]error, error) {
+	if len(receipts) == 0 || len(receipts) > queue.MaxBatch {
+		return nil, queue.ErrBatchSize
+	}
+	r.count(queueName)
+	r.mu.RLock()
+	rt := r.routes[queueName]
+	r.mu.RUnlock()
+	if rt == nil {
+		return nil, queue.ErrNoSuchQueue
+	}
+	results := make([]error, len(receipts))
+	type group struct {
+		idx []int
+		raw []string
+	}
+	groups := make(map[string]*group)
+	for i, wrapped := range receipts {
+		id, raw, ok := splitReceipt(wrapped)
+		if !ok {
+			results[i] = fmt.Errorf("shard: unroutable receipt %q: %w", wrapped, queue.ErrStaleReceipt)
+			continue
+		}
+		g := groups[id]
+		if g == nil {
+			g = &group{}
+			groups[id] = g
+		}
+		g.idx = append(g.idx, i)
+		g.raw = append(g.raw, raw)
+	}
+	for id, g := range groups {
+		r.mu.RLock()
+		b := r.shards[id]
+		r.mu.RUnlock()
+		if b == nil {
+			for _, i := range g.idx {
+				results[i] = fmt.Errorf("shard: receipt from unknown shard %q: %w", id, queue.ErrStaleReceipt)
+			}
+			continue
+		}
+		res, err := b.DeleteMessageBatch(queueName, g.raw)
+		if err != nil {
+			perEntry := err
+			if errors.Is(err, queue.ErrNoSuchQueue) {
+				perEntry = fmt.Errorf("shard: queue %s migrated off shard %s: %w", queueName, id, queue.ErrStaleReceipt)
+			}
+			for _, i := range g.idx {
+				results[i] = perEntry
+			}
+			continue
+		}
+		for k, i := range g.idx {
+			results[i] = res[k]
+		}
+	}
+	return results, nil
+}
+
+// ChangeVisibility adjusts a lease on the issuing shard.
+func (r *Router) ChangeVisibility(queueName, receiptHandle string, d time.Duration) error {
+	r.count(queueName)
+	b, raw, err := r.receiptBackend(queueName, receiptHandle)
+	if err != nil {
+		return err
+	}
+	err = b.ChangeVisibility(queueName, raw, d)
+	if errors.Is(err, queue.ErrNoSuchQueue) {
+		return fmt.Errorf("shard: queue %s migrated off the issuing shard: %w", queueName, queue.ErrStaleReceipt)
+	}
+	return err
+}
+
+// ApproximateCount sums the owner's counts with any old shards still
+// holding in-flight stragglers, so totals stay truthful mid-migration.
+func (r *Router) ApproximateCount(queueName string) (visible, inflight int, err error) {
+	r.count(queueName)
+	err = r.onOwner(queueName, func(_ string, b queue.API) error {
+		var err error
+		visible, inflight, err = b.ApproximateCount(queueName)
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, ob := range r.drainingBackends(queueName) {
+		if v, inf, derr := ob.ApproximateCount(queueName); derr == nil {
+			visible += v
+			inflight += inf
+		}
+	}
+	return visible, inflight, nil
+}
+
+// Purge clears the queue on its owner and on any draining old shards.
+func (r *Router) Purge(queueName string) error {
+	r.count(queueName)
+	err := r.onOwner(queueName, func(_ string, b queue.API) error {
+		return b.Purge(queueName)
+	})
+	if err != nil {
+		return err
+	}
+	for _, ob := range r.drainingBackends(queueName) {
+		_ = ob.Purge(queueName)
+	}
+	return nil
+}
+
+// drainingBackends snapshots the old shards still forwarding a queue's
+// stragglers. The current owner is excluded even when its forwarder has
+// not exited yet (the queue migrated back onto a watched shard), so
+// callers never count the live copy twice.
+func (r *Router) drainingBackends(queueName string) []queue.API {
+	r.mu.RLock()
+	rt := r.routes[queueName]
+	r.mu.RUnlock()
+	if rt == nil {
+		return nil
+	}
+	rt.mu.Lock()
+	ids := make([]string, 0, len(rt.draining))
+	for id := range rt.draining {
+		if id != rt.shard {
+			ids = append(ids, id)
+		}
+	}
+	rt.mu.Unlock()
+	if len(ids) == 0 {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]queue.API, 0, len(ids))
+	for _, id := range ids {
+		if b := r.shards[id]; b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Shards returns the ring members, sorted.
+func (r *Router) Shards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring.members()
+}
+
+// Owners snapshots the queue→shard placement.
+func (r *Router) Owners() map[string]string {
+	r.mu.RLock()
+	routes := make(map[string]*route, len(r.routes))
+	for n, rt := range r.routes {
+		routes[n] = rt
+	}
+	r.mu.RUnlock()
+	out := make(map[string]string, len(routes))
+	for n, rt := range routes {
+		rt.mu.Lock()
+		out[n] = rt.shard
+		rt.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStat describes one shard's share of the namespace and traffic.
+type ShardStat struct {
+	ID string
+	// OnRing is false for retired shards: removed from the ring but
+	// still reachable for straggler receipts.
+	OnRing bool
+	// Queues currently routed to the shard.
+	Queues int
+	// Requests is the billed request count the shard itself observed —
+	// router traffic plus migration/forwarding traffic.
+	Requests int64
+}
+
+// Stats aggregates per-shard placement and billing, the sharded view of
+// the attribution model consumers already use per queue.
+func (r *Router) Stats() []ShardStat {
+	owners := r.Owners()
+	perShard := make(map[string]int)
+	for _, id := range owners {
+		perShard[id]++
+	}
+	r.mu.RLock()
+	ids := make([]string, 0, len(r.shards))
+	for id := range r.shards {
+		ids = append(ids, id)
+	}
+	backends := make(map[string]queue.API, len(r.shards))
+	for id, b := range r.shards {
+		backends[id] = b
+	}
+	onRing := make(map[string]bool, len(r.ring.ids))
+	for id := range r.ring.ids {
+		onRing[id] = true
+	}
+	r.mu.RUnlock()
+	sort.Strings(ids)
+	out := make([]ShardStat, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, ShardStat{
+			ID:       id,
+			OnRing:   onRing[id],
+			Queues:   perShard[id],
+			Requests: backends[id].APIRequests(),
+		})
+	}
+	return out
+}

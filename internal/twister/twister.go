@@ -31,10 +31,12 @@ import (
 	"repro/internal/queue"
 )
 
-// Env bundles the cloud infrastructure services.
+// Env bundles the cloud infrastructure services. Queue accepts any
+// queue.API implementation — local service, HTTP client, or shard
+// router.
 type Env struct {
 	Blob  *blob.Store
-	Queue *queue.Service
+	Queue queue.API
 }
 
 // KV is one emitted key/value pair.
