@@ -109,7 +109,7 @@ func TestBrokerElasticEndToEnd(t *testing.T) {
 	}
 	// The poison message is parked on the job's dead-letter queue for
 	// inspection.
-	visible, inflight, err := env.Queue.ApproximateCount(st.ID + "-dead")
+	visible, inflight, err := env.Queue.ApproximateCount(st.ID + "/dead")
 	if err != nil {
 		t.Fatal(err)
 	}

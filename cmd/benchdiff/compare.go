@@ -14,12 +14,20 @@ const (
 	informational direction = iota // never gated
 	higherIsBetter
 	lowerIsBetter
+	// exactMatch gates structural invariants measured without noise —
+	// placement counts, co-location guarantees — where any drift at
+	// all, including away from zero, is a regression. Unlike the ratio
+	// directions it stays gated on a zero baseline: "0 cross-shard ops
+	// per grouped job cycle" is exactly the kind of claim it protects.
+	exactMatch
 )
 
 // directionOf infers the metric direction from the BENCH schema naming
 // convention.
 func directionOf(field string) direction {
 	switch {
+	case strings.HasSuffix(field, "_exact"):
+		return exactMatch
 	case strings.HasSuffix(field, "_per_sec"), strings.HasSuffix(field, "_speedup"):
 		return higherIsBetter
 	case strings.HasSuffix(field, "_ns"), strings.HasSuffix(field, "_per_task"):
@@ -119,7 +127,10 @@ func walk(path, field string, baseline, fresh any, opt Options, out *[]Result) {
 		// Ratio gating needs a positive baseline: zero divides and a
 		// negative one (a subtraction-derived metric measured inside
 		// noise) inverts the comparison, so both demote to informational.
-		r := Result{Path: path, Baseline: b, Fresh: fv, Gated: dir != informational && b > 0}
+		// Exact-match metrics are gated unconditionally — they compare
+		// by equality, not by ratio, so a zero baseline is fine.
+		r := Result{Path: path, Baseline: b, Fresh: fv,
+			Gated: dir == exactMatch || (dir != informational && b > 0)}
 		if b != 0 {
 			r.Change = (fv - b) / math.Abs(b)
 		}
@@ -133,6 +144,8 @@ func walk(path, field string, baseline, fresh any, opt Options, out *[]Result) {
 					tol = opt.LatencyTol
 				}
 				r.Failed = fv > b*(1+tol)
+			case exactMatch:
+				r.Failed = fv != b
 			}
 		}
 		*out = append(*out, r)

@@ -151,3 +151,30 @@ func TestCompareSpeedupGate(t *testing.T) {
 		t.Errorf("scaling collapse passed: %+v", r)
 	}
 }
+
+// TestCompareExactMatch: *_exact fields gate on strict equality and —
+// unlike ratio directions — stay gated on a zero baseline, so a
+// structural invariant like "0 cross-shard ops per grouped job cycle"
+// fails the build the moment it drifts.
+func TestCompareExactMatch(t *testing.T) {
+	baseline := parse(t, `{"grouped_cross_shard_ops_per_cycle_exact": 0.0, "ungrouped_cross_shard_ops_per_cycle_exact": 3.2}`)
+	same := parse(t, `{"grouped_cross_shard_ops_per_cycle_exact": 0.0, "ungrouped_cross_shard_ops_per_cycle_exact": 3.2}`)
+	res := byPath(Compare(baseline, same, opts))
+	for path, r := range res {
+		if !r.Gated || r.Failed {
+			t.Errorf("%s: identical exact metric should pass gated: %+v", path, r)
+		}
+	}
+	drifted := parse(t, `{"grouped_cross_shard_ops_per_cycle_exact": 0.5, "ungrouped_cross_shard_ops_per_cycle_exact": 3.2}`)
+	res = byPath(Compare(baseline, drifted, opts))
+	if r := res["grouped_cross_shard_ops_per_cycle_exact"]; !r.Failed {
+		t.Errorf("zero-baseline exact metric drifted without failing: %+v", r)
+	}
+	// Drift in either direction fails, even "improvements": exact means
+	// the measurement is structural, not noisy.
+	better := parse(t, `{"grouped_cross_shard_ops_per_cycle_exact": 0.0, "ungrouped_cross_shard_ops_per_cycle_exact": 1.0}`)
+	res = byPath(Compare(baseline, better, opts))
+	if r := res["ungrouped_cross_shard_ops_per_cycle_exact"]; !r.Failed {
+		t.Errorf("exact metric shrank without failing: %+v", r)
+	}
+}

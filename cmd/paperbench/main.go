@@ -493,6 +493,30 @@ type shardBenchReport struct {
 	// when a fifth shard joined four — consistent hashing should keep
 	// it near 1/5.
 	RebalanceMovedFraction float64 `json:"rebalance_moved_fraction"`
+	// Placement is the grouped-versus-ungrouped placement study. Its
+	// fields carry the `_exact` suffix: placement is a deterministic
+	// function of the ring, so benchdiff gates them on strict equality
+	// — the grouped metric in particular must stay exactly 0.
+	Placement placementReport `json:"placement"`
+}
+
+// placementReport quantifies what placement groups buy: the number of
+// queue operations in one job cycle (task send/receive/delete +
+// monitor send/receive/delete = 6) that land on a shard other than the
+// job's home shard. Grouped naming ("job/tasks") co-locates every
+// queue of a job, so its cross-shard count is 0 by construction;
+// ungrouped naming ("job-tasks") scatters the job's queues across the
+// ring.
+type placementReport struct {
+	Jobs   int `json:"jobs"`
+	Shards int `json:"shards"`
+	// Cross-shard ops per 6-op job cycle.
+	GroupedCrossOps   float64 `json:"grouped_cross_shard_ops_per_cycle_exact"`
+	UngroupedCrossOps float64 `json:"ungrouped_cross_shard_ops_per_cycle_exact"`
+	// Distinct shards touched by one job's three queues (tasks,
+	// monitor, dead-letter); 1.0 means fully co-located.
+	GroupedShardsPerJob   float64 `json:"grouped_shards_per_job_exact"`
+	UngroupedShardsPerJob float64 `json:"ungrouped_shards_per_job_exact"`
 }
 
 // queueShard measures the consistent-hash queue front: aggregate
@@ -629,6 +653,69 @@ func queueShard() {
 		rep.RebalanceMovedFraction = float64(moved) / n
 	}
 
+	// Placement groups: cross-shard queue ops per job cycle, grouped
+	// ("job/queue" names hash by job) versus ungrouped ("job-queue"
+	// names hash individually). Placement is deterministic, so these
+	// commit as exact-gated metrics.
+	{
+		const jobs, nShards = 64, 4
+		study := func(sep string) (crossOps, shardsPerJob float64, err error) {
+			router := shard.NewRouter(shard.Config{})
+			defer router.Close()
+			for i := 0; i < nShards; i++ {
+				if err := router.AddShard(fmt.Sprintf("s%d", i), queue.NewService(queue.Config{Seed: int64(i + 1)})); err != nil {
+					return 0, 0, err
+				}
+			}
+			suffixes := []string{"tasks", "monitor", "dead"}
+			for j := 0; j < jobs; j++ {
+				for _, sfx := range suffixes {
+					if err := router.CreateQueue(fmt.Sprintf("job-%d%s%s", j, sep, sfx)); err != nil {
+						return 0, 0, err
+					}
+				}
+			}
+			owners := router.Owners()
+			cross, distinct := 0, 0
+			for j := 0; j < jobs; j++ {
+				name := func(sfx string) string { return fmt.Sprintf("job-%d%s%s", j, sep, sfx) }
+				home := owners[name("tasks")]
+				seen := map[string]bool{}
+				for _, sfx := range suffixes {
+					seen[owners[name(sfx)]] = true
+				}
+				distinct += len(seen)
+				// One happy-path cycle is 6 ops: 3 on the task queue
+				// (send, receive, delete — on the home shard by
+				// definition) and 3 on the monitor queue.
+				if owners[name("monitor")] != home {
+					cross += 3
+				}
+			}
+			return float64(cross) / jobs, float64(distinct) / jobs, nil
+		}
+		rep.Placement.Jobs, rep.Placement.Shards = jobs, nShards
+		var err error
+		rep.Placement.GroupedCrossOps, rep.Placement.GroupedShardsPerJob, err = study("/")
+		if err != nil {
+			// Abort before the file write: a zeroed placement section
+			// committed as an exact-gated baseline would fail every
+			// future CI run.
+			fail(err)
+			return
+		}
+		rep.Placement.UngroupedCrossOps, rep.Placement.UngroupedShardsPerJob, err = study("-")
+		if err != nil {
+			fail(err)
+			return
+		}
+		if rep.Placement.GroupedCrossOps != 0 {
+			fail(fmt.Errorf("grouped placement leaked %v cross-shard ops/cycle, want 0",
+				rep.Placement.GroupedCrossOps))
+			return
+		}
+	}
+
 	fmt.Printf("workload: %d queues × %d workers, shards of %d×%.0fms request slots\n",
 		rep.Queues, rep.WorkersPerQueue, rep.ServiceConcurrency, rep.ModeledServiceTimeMs)
 	for _, p := range rep.Curve {
@@ -637,6 +724,11 @@ func queueShard() {
 	}
 	fmt.Printf("router overhead:           %8.0f ns/cycle\n", rep.RouterOverheadNs)
 	fmt.Printf("rebalance moved fraction:  %8.3f (ideal %.3f)\n", rep.RebalanceMovedFraction, 1.0/5)
+	fmt.Printf("placement (%d jobs × 3 queues over %d shards):\n", rep.Placement.Jobs, rep.Placement.Shards)
+	fmt.Printf("  grouped:   %5.2f cross-shard ops/cycle, %4.2f shards/job\n",
+		rep.Placement.GroupedCrossOps, rep.Placement.GroupedShardsPerJob)
+	fmt.Printf("  ungrouped: %5.2f cross-shard ops/cycle, %4.2f shards/job\n",
+		rep.Placement.UngroupedCrossOps, rep.Placement.UngroupedShardsPerJob)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

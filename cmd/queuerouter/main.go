@@ -17,13 +17,26 @@
 // Admin API:
 //
 //	GET    /admin/shards               placement and billing per shard
-//	PUT    /admin/shards/{id}?url=U    add a shard (migrates ≈1/N of queues)
+//	PUT    /admin/shards/{id}?url=U    add a shard (migrates ≈1/N of queue groups)
 //	DELETE /admin/shards/{id}          retire a shard (migrates its queues)
 //	POST   /admin/rebalance            retry migrations the ring implies
+//	POST   /admin/regroup?queue=Q&group=G  move a queue into placement group G
+//
+// Placement groups: the ring hashes the part of a queue name before
+// the first '/' (so "job-7/tasks" and "job-7/monitor" share a shard);
+// /admin/regroup migrates a pre-existing ungrouped queue into its
+// group's shard via the same drain-and-forward machinery.
+//
+// Migration transfers messages with their delivery counts preserved
+// through the privileged transfer endpoint. -transfer-token provisions
+// that endpoint on this router AND authorizes the router against its
+// remote shards (which must run with the same token); without it,
+// migration falls back to a count-resetting public re-send.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -50,9 +63,12 @@ func parseShards(s string) (map[string]string, error) {
 	return out, nil
 }
 
-// adminHandler manages router topology over HTTP.
+// adminHandler manages router topology and placement over HTTP.
 type adminHandler struct {
 	router *shard.Router
+	// transferToken authorizes shards added at runtime for
+	// count-preserving transfers.
+	transferToken string
 }
 
 func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -66,6 +82,32 @@ func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		log.Printf("queuerouter: rebalanced")
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if r.URL.Path == "/admin/regroup" {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		queueName := r.URL.Query().Get("queue")
+		if queueName == "" {
+			http.Error(w, "shard: missing queue parameter", http.StatusBadRequest)
+			return
+		}
+		group := r.URL.Query().Get("group")
+		if err := h.router.Regroup(queueName, group); err != nil {
+			switch {
+			case errors.Is(err, queue.ErrNoSuchQueue):
+				http.Error(w, err.Error(), http.StatusNotFound)
+			case errors.Is(err, shard.ErrBadGroup):
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			default:
+				http.Error(w, err.Error(), http.StatusBadGateway)
+			}
+			return
+		}
+		log.Printf("queuerouter: regrouped %q into %q", queueName, group)
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
@@ -85,7 +127,7 @@ func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "shard: missing url parameter", http.StatusBadRequest)
 			return
 		}
-		if err := h.router.AddShard(rest, &queue.HTTPClient{BaseURL: url}); err != nil {
+		if err := h.router.AddShard(rest, &queue.HTTPClient{BaseURL: url, AdminToken: h.transferToken}); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -109,6 +151,8 @@ func main() {
 		"remote shards as id=url pairs, e.g. a=http://node1:8080,b=http://node2:8080")
 	local := flag.Int("local", 0, "run N in-process shards instead of remote ones")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (default 64)")
+	transferToken := flag.String("transfer-token", "",
+		"admin token for the privileged count-preserving transfer endpoint, served by this router and presented to remote shards (empty disables the endpoint; migration then re-sends publicly, resetting delivery counts)")
 	flag.Parse()
 
 	remotes, err := parseShards(*shardsFlag)
@@ -122,7 +166,7 @@ func main() {
 	router := shard.NewRouter(shard.Config{VirtualNodes: *vnodes})
 	defer router.Close()
 	for id, url := range remotes {
-		if err := router.AddShard(id, &queue.HTTPClient{BaseURL: url}); err != nil {
+		if err := router.AddShard(id, &queue.HTTPClient{BaseURL: url, AdminToken: *transferToken}); err != nil {
 			log.Fatalf("queuerouter: add shard %q: %v", id, err)
 		}
 		log.Printf("queuerouter: shard %q -> %s", id, url)
@@ -136,8 +180,8 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/admin/", &adminHandler{router: router})
-	mux.Handle("/", &queue.HTTPHandler{Service: router})
+	mux.Handle("/admin/", &adminHandler{router: router, transferToken: *transferToken})
+	mux.Handle("/", &queue.HTTPHandler{Service: router, AdminToken: *transferToken})
 	log.Printf("queuerouter: listening on %s with %d shard(s)", *addr, len(router.Shards()))
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)

@@ -204,14 +204,16 @@ func (b *Broker) journalFor(jobID string) *journal {
 
 // ccConfigFor derives a job's Classic Cloud deployment config; it is a
 // pure function of the job ID and broker config, so a recovering broker
-// reattaches to exactly the queues the dead one used.
+// reattaches to exactly the queues the dead one used. All three queue
+// names share the job ID as their placement-group prefix, so a sharded
+// queue deployment keeps the whole job on one shard.
 func (b *Broker) ccConfigFor(jobID string) classiccloud.Config {
 	return classiccloud.Config{
 		JobName:           jobID,
 		VisibilityTimeout: b.cfg.VisibilityTimeout,
 		PollInterval:      b.cfg.PollInterval,
 		MaxReceives:       b.cfg.MaxReceives,
-		DeadLetterQueue:   jobID + "-dead",
+		DeadLetterQueue:   jobID + "/dead",
 	}
 }
 

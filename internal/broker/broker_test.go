@@ -343,7 +343,7 @@ func TestBrokerDeadLettersPoisonTask(t *testing.T) {
 		t.Errorf("DeadLetters = %v, want [poison.fsa]", dl)
 	}
 	// The poison body is parked on the job's dead-letter queue.
-	visible, inflight, err := env.Queue.ApproximateCount(j.ID + "-dead")
+	visible, inflight, err := env.Queue.ApproximateCount(j.ID + "/dead")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -129,9 +129,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Queue and bucket names derived from the job name.
-func (c Config) taskQueue() string    { return c.JobName + "-tasks" }
-func (c Config) monitorQueue() string { return c.JobName + "-monitor" }
+// Queue and bucket names derived from the job name. Queue names use
+// the job name as a placement-group prefix ("job/tasks"), so a sharded
+// queue deployment (internal/queue/shard) co-locates one job's task,
+// monitor, and dead-letter queues on a single shard and its queue
+// traffic never crosses shards.
+func (c Config) taskQueue() string    { return c.JobName + "/tasks" }
+func (c Config) monitorQueue() string { return c.JobName + "/monitor" }
 
 // TaskQueue returns the job's scheduling queue name (for layers, like
 // the elastic broker, that observe queue depth directly).

@@ -310,7 +310,7 @@ func TestPoisonMessageDoesNotWedgeWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Inject garbage directly into the task queue.
-	env.Queue.SendMessage("poison-tasks", []byte("{{{not json"))
+	env.Queue.SendMessage("poison/tasks", []byte("{{{not json"))
 	tasks, err := client.SubmitFiles(makeFiles(5))
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package queue
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,12 +33,28 @@ import (
 //	POST   /q/{name}/messages/batchdelete    batch delete ({"receipts": [...]} → {"errors": [...]})
 //	DELETE /q/{name}/messages/{receipt}      delete by receipt handle
 //	POST   /q/{name}/messages/{receipt}/visibility?d=1m  change visibility
+//	POST   /q/{name}/transfer                privileged count-preserving transfer
+//	                                         ({"items": [{"body","receives"}]} → {"ids": [...]})
+//
+// Queue names and receipt handles are path-escaped on the wire, so a
+// placement-grouped name like "job-1/tasks" stays one path segment
+// ("job-1%2Ftasks").
+//
+// The transfer endpoint is the privileged admin surface: it is served
+// only when AdminToken is configured AND the request carries it as a
+// bearer token; every other caller gets 403 (ErrNotPrivileged on the
+// client side). Everything else is the public client path.
 //
 // Service is any queue.API implementation — a local Service or a
 // shard router — so one handler serves both a single queue node and a
 // sharded front.
 type HTTPHandler struct {
 	Service API
+	// AdminToken provisions the privileged transfer endpoint: requests
+	// must present "Authorization: Bearer <AdminToken>". Empty leaves
+	// the endpoint disabled (always 403) — the privileged surface must
+	// be opted into, never open by default.
+	AdminToken string
 }
 
 // wireMessage is the receive-response body.
@@ -66,13 +83,28 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string][]string{"queues": h.Service.ListQueues()})
 		return
 	}
-	rest, ok := strings.CutPrefix(r.URL.Path, "/q/")
+	// Parse the escaped path: a queue name containing '/' (a placement
+	// group key) travels as one %2F-escaped segment, which the decoded
+	// r.URL.Path cannot distinguish from a path separator.
+	rest, ok := strings.CutPrefix(r.URL.EscapedPath(), "/q/")
 	if !ok || rest == "" {
 		http.Error(w, "queue: missing queue name", http.StatusBadRequest)
 		return
 	}
 	parts := strings.SplitN(rest, "/", 4)
-	name := parts[0]
+	name, err := url.PathUnescape(parts[0])
+	if err != nil || name == "" {
+		http.Error(w, "queue: bad queue name", http.StatusBadRequest)
+		return
+	}
+	unescapeReceipt := func(seg string) (string, bool) {
+		receipt, err := url.PathUnescape(seg)
+		if err != nil {
+			http.Error(w, "queue: bad receipt handle", http.StatusBadRequest)
+			return "", false
+		}
+		return receipt, true
+	}
 	switch {
 	case len(parts) == 1:
 		h.serveQueue(w, r, name)
@@ -86,6 +118,8 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]int64{"requests": h.Service.APIRequestsFor(name)})
 	case parts[1] == "purge" && len(parts) == 2:
 		h.servePurge(w, r, name)
+	case parts[1] == "transfer" && len(parts) == 2:
+		h.serveTransfer(w, r, name)
 	case parts[1] == "messages" && len(parts) == 2:
 		h.serveMessages(w, r, name)
 	case parts[1] == "messages" && len(parts) == 3 && parts[2] == "batch":
@@ -93,9 +127,13 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case parts[1] == "messages" && len(parts) == 3 && parts[2] == "batchdelete":
 		h.serveDeleteBatch(w, r, name)
 	case parts[1] == "messages" && len(parts) == 3:
-		h.serveReceipt(w, r, name, parts[2])
+		if receipt, ok := unescapeReceipt(parts[2]); ok {
+			h.serveReceipt(w, r, name, receipt)
+		}
 	case parts[1] == "messages" && len(parts) == 4 && parts[3] == "visibility":
-		h.serveVisibility(w, r, name, parts[2])
+		if receipt, ok := unescapeReceipt(parts[2]); ok {
+			h.serveVisibility(w, r, name, receipt)
+		}
 	default:
 		http.NotFound(w, r)
 	}
@@ -149,6 +187,45 @@ func (h *HTTPHandler) servePurge(w http.ResponseWriter, r *http.Request, name st
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// serveTransfer is the privileged count-preserving enqueue the shard
+// migration machinery uses. It requires the handler's admin token; the
+// Service must implement Transferrer (every in-tree implementation
+// does).
+func (h *HTTPHandler) serveTransfer(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if h.AdminToken == "" || !ok ||
+		subtle.ConstantTimeCompare([]byte(token), []byte(h.AdminToken)) != 1 {
+		// One answer for "endpoint not provisioned", "no token", and
+		// "wrong token": the caller learns only that it is not
+		// privileged, not which secret would have worked.
+		http.Error(w, ErrNotPrivileged.Error(), http.StatusForbidden)
+		return
+	}
+	tr, ok := h.Service.(Transferrer)
+	if !ok {
+		http.Error(w, "queue: backend does not support transfers", http.StatusNotImplemented)
+		return
+	}
+	var in struct {
+		Items []TransferItem `json:"items"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		http.Error(w, "queue: bad transfer body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ids, err := tr.TransferInBatch(name, in.Items)
+	if err != nil {
+		writeQueueError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string][]string{"ids": ids})
 }
 
 func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name string) {
@@ -317,6 +394,8 @@ func writeQueueError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, ErrInvalidReceipt):
 		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrNotPrivileged):
+		http.Error(w, err.Error(), http.StatusForbidden)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}
@@ -334,15 +413,29 @@ func writeJSON(w http.ResponseWriter, v any) {
 type HTTPClient struct {
 	BaseURL string
 	Client  *http.Client
+	// AdminToken authorizes the privileged transfer endpoint. Leave
+	// empty for a purely public client: TransferIn then fails with
+	// ErrNotPrivileged (and the shard migrator falls back to a public
+	// re-send).
+	AdminToken string
 }
 
-var _ API = (*HTTPClient)(nil)
+var (
+	_ API         = (*HTTPClient)(nil)
+	_ Transferrer = (*HTTPClient)(nil)
+)
 
 func (c *HTTPClient) httpClient() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
 	return http.DefaultClient
+}
+
+// qURL builds the base URL of one queue, path-escaping the name so a
+// placement-grouped name ("job-1/tasks") travels as a single segment.
+func (c *HTTPClient) qURL(name string) string {
+	return c.BaseURL + "/q/" + url.PathEscape(name)
 }
 
 // statusErr converts a failed response into an error wrapping the
@@ -354,13 +447,15 @@ func statusErr(op, name string, resp *http.Response) error {
 		return fmt.Errorf("queue: %s %s: %w", op, name, ErrNoSuchQueue)
 	case http.StatusConflict:
 		return fmt.Errorf("queue: %s %s: %w", op, name, ErrStaleReceipt)
+	case http.StatusForbidden:
+		return fmt.Errorf("queue: %s %s: %w", op, name, ErrNotPrivileged)
 	}
 	return fmt.Errorf("queue: %s %s: %s", op, name, resp.Status)
 }
 
 // CreateQueue creates (idempotently) a queue.
 func (c *HTTPClient) CreateQueue(name string) error {
-	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/q/"+name, nil)
+	req, err := http.NewRequest(http.MethodPut, c.qURL(name), nil)
 	if err != nil {
 		return err
 	}
@@ -377,7 +472,7 @@ func (c *HTTPClient) CreateQueue(name string) error {
 
 // DeleteQueue removes a queue and its messages.
 func (c *HTTPClient) DeleteQueue(name string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/q/"+name, nil)
+	req, err := http.NewRequest(http.MethodDelete, c.qURL(name), nil)
 	if err != nil {
 		return err
 	}
@@ -414,7 +509,7 @@ func (c *HTTPClient) ListQueues() []string {
 
 // ApproximateCount reports visible and in-flight message counts.
 func (c *HTTPClient) ApproximateCount(name string) (visible, inflight int, err error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/q/" + name + "/count")
+	resp, err := c.httpClient().Get(c.qURL(name) + "/count")
 	if err != nil {
 		return 0, 0, err
 	}
@@ -434,7 +529,7 @@ func (c *HTTPClient) ApproximateCount(name string) (visible, inflight int, err e
 
 // Purge removes every message from a queue.
 func (c *HTTPClient) Purge(name string) error {
-	resp, err := c.httpClient().Post(c.BaseURL+"/q/"+name+"/purge", "", nil)
+	resp, err := c.httpClient().Post(c.qURL(name)+"/purge", "", nil)
 	if err != nil {
 		return err
 	}
@@ -448,7 +543,7 @@ func (c *HTTPClient) Purge(name string) error {
 // ChangeVisibility extends or shrinks an in-flight message's lease.
 func (c *HTTPClient) ChangeVisibility(name, receipt string, d time.Duration) error {
 	resp, err := c.httpClient().Post(
-		c.BaseURL+"/q/"+name+"/messages/"+url.PathEscape(receipt)+"/visibility?d="+url.QueryEscape(d.String()), "", nil)
+		c.qURL(name)+"/messages/"+url.PathEscape(receipt)+"/visibility?d="+url.QueryEscape(d.String()), "", nil)
 	if err != nil {
 		return err
 	}
@@ -483,11 +578,13 @@ func (c *HTTPClient) requests(path string) int64 {
 func (c *HTTPClient) APIRequests() int64 { return c.requests("/requests") }
 
 // APIRequestsFor returns the billed API calls addressed to one queue.
-func (c *HTTPClient) APIRequestsFor(name string) int64 { return c.requests("/q/" + name + "/requests") }
+func (c *HTTPClient) APIRequestsFor(name string) int64 {
+	return c.requests("/q/" + url.PathEscape(name) + "/requests")
+}
 
 // Send enqueues a message and returns its id.
 func (c *HTTPClient) Send(name string, body []byte) (string, error) {
-	resp, err := c.httpClient().Post(c.BaseURL+"/q/"+name+"/messages", "application/octet-stream",
+	resp, err := c.httpClient().Post(c.qURL(name)+"/messages", "application/octet-stream",
 		strings.NewReader(string(body)))
 	if err != nil {
 		return "", err
@@ -517,7 +614,7 @@ func (c *HTTPClient) ReceiveWait(name string, visibility, wait time.Duration) (M
 	if wait > 0 {
 		q.Set("wait", wait.String())
 	}
-	url := c.BaseURL + "/q/" + name + "/messages"
+	url := c.qURL(name) + "/messages"
 	if enc := q.Encode(); enc != "" {
 		url += "?" + enc
 	}
@@ -551,7 +648,7 @@ func (c *HTTPClient) ReceiveBatch(name string, visibility time.Duration, max int
 	if wait > 0 {
 		q.Set("wait", wait.String())
 	}
-	resp, err := c.httpClient().Get(c.BaseURL + "/q/" + name + "/messages?" + q.Encode())
+	resp, err := c.httpClient().Get(c.qURL(name) + "/messages?" + q.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -582,7 +679,7 @@ func (c *HTTPClient) SendBatch(name string, bodies [][]byte) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Post(c.BaseURL+"/q/"+name+"/messages/batch",
+	resp, err := c.httpClient().Post(c.qURL(name)+"/messages/batch",
 		"application/json", bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
@@ -600,6 +697,60 @@ func (c *HTTPClient) SendBatch(name string, bodies [][]byte) ([]string, error) {
 	return out.IDs, nil
 }
 
+// TransferIn enqueues one message with its prior delivery count
+// through the remote privileged transfer endpoint (queue.Transferrer).
+func (c *HTTPClient) TransferIn(name string, body []byte, receives int) (string, error) {
+	ids, err := c.TransferInBatch(name, []TransferItem{{Body: body, Receives: receives}})
+	if err != nil {
+		return "", err
+	}
+	if len(ids) == 0 {
+		// A malformed peer answered 201 without ids; don't panic on it.
+		return "", fmt.Errorf("queue: transfer into %s: response carried no ids", name)
+	}
+	return ids[0], nil
+}
+
+// TransferInBatch enqueues up to MaxBatch transfer items as one billed
+// request through the remote privileged transfer endpoint. The client's
+// AdminToken must match the server's or the call fails with
+// ErrNotPrivileged; with no token configured at all the call fails
+// locally — it cannot possibly succeed, and the shard migrator probes
+// this once per batch, so the guaranteed 403 round trip is skipped.
+func (c *HTTPClient) TransferInBatch(name string, items []TransferItem) ([]string, error) {
+	if len(items) == 0 || len(items) > MaxBatch {
+		return nil, ErrBatchSize
+	}
+	if c.AdminToken == "" {
+		return nil, fmt.Errorf("queue: transfer into %s: client has no admin token: %w", name, ErrNotPrivileged)
+	}
+	payload, err := json.Marshal(map[string][]TransferItem{"items": items})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.qURL(name)+"/transfer", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+c.AdminToken)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, statusErr("transfer into", name, resp)
+	}
+	var out struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.IDs, nil
+}
+
 // DeleteBatch acknowledges up to MaxBatch receipts as one billed
 // request, returning one error per entry (nil = deleted).
 func (c *HTTPClient) DeleteBatch(name string, receipts []string) ([]error, error) {
@@ -607,7 +758,7 @@ func (c *HTTPClient) DeleteBatch(name string, receipts []string) ([]error, error
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Post(c.BaseURL+"/q/"+name+"/messages/batchdelete",
+	resp, err := c.httpClient().Post(c.qURL(name)+"/messages/batchdelete",
 		"application/json", bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
@@ -637,7 +788,7 @@ func (c *HTTPClient) DeleteBatch(name string, receipts []string) ([]error, error
 
 // Delete acknowledges a message by receipt handle.
 func (c *HTTPClient) Delete(name, receipt string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/q/"+name+"/messages/"+url.PathEscape(receipt), nil)
+	req, err := http.NewRequest(http.MethodDelete, c.qURL(name)+"/messages/"+url.PathEscape(receipt), nil)
 	if err != nil {
 		return err
 	}

@@ -292,6 +292,15 @@ var (
 	ErrStaleReceipt   = errors.New("queue: invalid or stale receipt handle")
 	ErrEmptyQueueName = errors.New("queue: empty queue name")
 	ErrBatchSize      = fmt.Errorf("queue: batch must hold 1..%d entries", MaxBatch)
+	// ErrNotPrivileged rejects a message transfer from a caller without
+	// access to the privileged admin surface. Local in-process callers
+	// are always trusted (whoever holds the *Service is the operator);
+	// the sentinel is produced by the HTTP layer, where the transfer
+	// endpoint must be explicitly provisioned with an admin token.
+	ErrNotPrivileged = errors.New("queue: message transfer requires the privileged admin surface")
+	// ErrBadTransfer rejects a transfer item carrying a negative
+	// delivery count.
+	ErrBadTransfer = errors.New("queue: transfer receive count must be non-negative")
 )
 
 // ErrInvalidReceipt is the historical name of ErrStaleReceipt; both
@@ -322,7 +331,39 @@ type API interface {
 	APIRequestsFor(queueName string) int64
 }
 
-var _ API = (*Service)(nil)
+// TransferItem is one message moved by the privileged transfer API:
+// its body plus the delivery count it had already accumulated on its
+// source queue. Receives counts deliveries so far — a transferred
+// message's next delivery reports Receives+1, exactly as if every
+// prior delivery had happened on the destination queue.
+type TransferItem struct {
+	Body     []byte `json:"body"`
+	Receives int    `json:"receives"`
+}
+
+// Transferrer is the privileged migration surface, deliberately NOT
+// part of API: it lets an operator-level caller (the shard router's
+// drain-and-forward migration) enqueue a message that keeps its prior
+// delivery count, so moving a queue between shards does not reset
+// MaxReceives poison-detection progress. Ordinary producers must use
+// SendMessage, which always starts messages at zero deliveries.
+// Implemented by *Service (in-process callers are trusted), by
+// *HTTPClient carrying an admin token, and by the shard router
+// (forwarding to the owning shard), so routers can front routers.
+type Transferrer interface {
+	// TransferIn enqueues body with `receives` prior deliveries,
+	// billed as one request to the destination queue.
+	TransferIn(queueName string, body []byte, receives int) (string, error)
+	// TransferInBatch enqueues up to MaxBatch items as one billed
+	// request. Items are validated before anything is enqueued or
+	// billed: one negative receive count rejects the whole batch.
+	TransferInBatch(queueName string, items []TransferItem) ([]string, error)
+}
+
+var (
+	_ API         = (*Service)(nil)
+	_ Transferrer = (*Service)(nil)
+)
 
 // NewService creates a queue service.
 func NewService(cfg Config) *Service {
@@ -443,7 +484,7 @@ func (s *Service) SendMessage(queueName string, body []byte) (string, error) {
 		return "", err
 	}
 	q.mu.Lock()
-	id := q.sendLocked(queueName, body)
+	id := q.sendLocked(queueName, body, 0)
 	q.broadcastLocked()
 	q.mu.Unlock()
 	return id, nil
@@ -464,20 +505,61 @@ func (s *Service) SendMessageBatch(queueName string, bodies [][]byte) ([]string,
 	ids := make([]string, 0, len(bodies))
 	q.mu.Lock()
 	for _, body := range bodies {
-		ids = append(ids, q.sendLocked(queueName, body))
+		ids = append(ids, q.sendLocked(queueName, body, 0))
 	}
 	q.broadcastLocked()
 	q.mu.Unlock()
 	return ids, nil
 }
 
-// sendLocked appends one message to the visible list. Caller holds q.mu.
-func (q *queueState) sendLocked(queueName string, body []byte) string {
+// TransferIn enqueues a message carrying `receives` prior deliveries —
+// the privileged count-preserving primitive queue migration uses. The
+// next delivery reports receives+1.
+func (s *Service) TransferIn(queueName string, body []byte, receives int) (string, error) {
+	ids, err := s.TransferInBatch(queueName, []TransferItem{{Body: body, Receives: receives}})
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
+}
+
+// TransferInBatch enqueues up to MaxBatch transfer items as one billed
+// request. Items are validated before the call is billed, so a
+// malformed batch neither counts as a request nor enqueues a prefix of
+// itself.
+func (s *Service) TransferInBatch(queueName string, items []TransferItem) ([]string, error) {
+	if len(items) == 0 || len(items) > MaxBatch {
+		return nil, ErrBatchSize
+	}
+	for _, it := range items {
+		if it.Receives < 0 {
+			return nil, fmt.Errorf("%w: %d", ErrBadTransfer, it.Receives)
+		}
+	}
+	s.count(queueName)
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(items))
+	q.mu.Lock()
+	for _, it := range items {
+		ids = append(ids, q.sendLocked(queueName, it.Body, it.Receives))
+	}
+	q.broadcastLocked()
+	q.mu.Unlock()
+	return ids, nil
+}
+
+// sendLocked appends one message to the visible list with `receives`
+// prior deliveries (0 for ordinary sends). Caller holds q.mu.
+func (q *queueState) sendLocked(queueName string, body []byte, receives int) string {
 	q.nextID++
 	m := &message{
-		id:      fmt.Sprintf("%s-%d", queueName, q.nextID),
-		body:    append([]byte(nil), body...),
-		heapIdx: -1,
+		id:       fmt.Sprintf("%s-%d", queueName, q.nextID),
+		body:     append([]byte(nil), body...),
+		receives: receives,
+		heapIdx:  -1,
 	}
 	m.elem = q.visible.PushBack(m)
 	return m.id

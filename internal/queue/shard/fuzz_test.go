@@ -1,0 +1,169 @@
+// Go native fuzz targets for the consistent-hash ring and the
+// placement-group key derivation — the routing layer every consumer's
+// correctness sits on. Run as tests they replay the seed corpus; CI
+// additionally runs each under -fuzz for a short smoke window.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fuzzPool is the fixed shard-id vocabulary fuzzed op sequences draw
+// from: big enough for interesting topologies, small enough that
+// remove ops actually hit live shards.
+var fuzzPool = [8]string{"fz0", "fz1", "fz2", "fz3", "fz4", "fz5", "fz6", "fz7"}
+
+// applyOps interprets one fuzz byte per op: low bits pick the shard,
+// the high bit picks add versus remove. It returns the ring and the
+// membership implied by replaying the ops.
+func applyOps(vnodes int, ops []byte) (*ring, map[string]bool) {
+	r := newRing(vnodes)
+	members := map[string]bool{}
+	for _, op := range ops {
+		id := fuzzPool[op&0x07]
+		if op&0x80 == 0 {
+			r.add(id)
+			members[id] = true
+		} else {
+			r.remove(id)
+			delete(members, id)
+		}
+	}
+	return r, members
+}
+
+// FuzzRingRoute checks the three routing invariants under arbitrary
+// add/remove sequences:
+//
+//  1. Every key routes to a live shard (never to a removed one, never
+//     to nothing while members remain).
+//  2. Routing is deterministic across ring rebuilds: a fresh ring built
+//     from the final membership in any order agrees on every owner —
+//     the property that lets independent processes route alike.
+//  3. Grouped names co-route with their group key: the ring itself is
+//     name-agnostic, so owner(DeriveGroup(name)) must be stable however
+//     the name is decorated with group segments.
+func FuzzRingRoute(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, "job-1/tasks")
+	f.Add([]byte{0, 0x81, 1, 2, 0x82}, "job-2/monitor")
+	f.Add([]byte{7, 6, 5, 0x87, 0x86}, "plain-queue")
+	f.Add([]byte{}, "empty-ring")
+	f.Fuzz(func(t *testing.T, ops []byte, key string) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		r, members := applyOps(16, ops)
+
+		owner, ok := r.owner(key)
+		if ok != (len(members) > 0) {
+			t.Fatalf("owner ok=%v with %d members", ok, len(members))
+		}
+		if !ok {
+			return
+		}
+		if !members[owner] {
+			t.Fatalf("key %q routed to %q, not a live member of %v", key, owner, members)
+		}
+
+		// Rebuild from the final membership, in two different orders.
+		ids := make([]string, 0, len(members))
+		for id := range members {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fwd := newRing(16)
+		for _, id := range ids {
+			fwd.add(id)
+		}
+		rev := newRing(16)
+		for i := len(ids) - 1; i >= 0; i-- {
+			rev.add(ids[i])
+		}
+		fo, _ := fwd.owner(key)
+		ro, _ := rev.owner(key)
+		if fo != owner || ro != owner {
+			t.Fatalf("owner(%q) not deterministic across rebuilds: churned=%q sorted=%q reversed=%q",
+				key, owner, fo, ro)
+		}
+
+		// A grouped decoration of the key routes with the key itself.
+		grouped := key + "/tasks"
+		if DeriveGroup(grouped) == key {
+			if go1, _ := r.owner(DeriveGroup(grouped)); go1 != owner {
+				t.Fatalf("grouped name %q routes to %q, its group key %q to %q", grouped, go1, key, owner)
+			}
+		}
+	})
+}
+
+// FuzzPlacementGroups checks the group-derivation contract: two names
+// with the same derived group always co-route, a well-formed
+// "group/queue" name derives exactly its prefix, and derivation is
+// stable (deriving twice changes nothing more).
+func FuzzPlacementGroups(f *testing.F) {
+	f.Add("job-1", "tasks", "monitor")
+	f.Add("", "a", "b")
+	f.Add("deep", "x/y", "z")
+	f.Add("sl/ash", "t", "u")
+	f.Fuzz(func(t *testing.T, group, qa, qb string) {
+		r := newRing(16)
+		for _, id := range fuzzPool {
+			r.add(id)
+		}
+		na := group + "/" + qa
+		nb := group + "/" + qb
+		ga, gb := DeriveGroup(na), DeriveGroup(nb)
+		// The routing contract: equal derived groups always co-route.
+		if ga == gb {
+			oa, _ := r.owner(ga)
+			ob, _ := r.owner(gb)
+			if oa != ob {
+				t.Fatalf("same group %q routed to %q and %q", ga, oa, ob)
+			}
+		}
+		// A well-formed "group/queue" name derives exactly its prefix —
+		// so siblings under one group always co-route.
+		if group != "" && !strings.Contains(group, "/") {
+			if ga != group || gb != group {
+				t.Fatalf("DeriveGroup(%q,%q) = %q,%q, want the prefix %q", na, nb, ga, gb, group)
+			}
+		}
+		// Deriving a derived key is stable once no separator remains
+		// (nested groups collapse to the outermost segment).
+		if !strings.Contains(ga, "/") && DeriveGroup(ga) != ga {
+			t.Fatalf("DeriveGroup not stable: %q -> %q", ga, DeriveGroup(ga))
+		}
+		// Ungrouped names are their own key.
+		plain := strings.ReplaceAll(qa, "/", "_")
+		if plain != "" {
+			if got := DeriveGroup(plain); got != plain {
+				t.Fatalf("ungrouped %q derived %q", plain, got)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsPass replays a few structured cases through the full
+// Router so the fuzz invariants are anchored to real routing behaviour,
+// not just the ring in isolation.
+func TestFuzzSeedsPass(t *testing.T) {
+	r, _ := newTestRouter(t, 3)
+	for i := 0; i < 8; i++ {
+		for _, sfx := range []string{"tasks", "monitor"} {
+			if err := r.CreateQueue(fmt.Sprintf("seed-%d/%s", i, sfx)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	owners := r.Owners()
+	for i := 0; i < 8; i++ {
+		a := owners[fmt.Sprintf("seed-%d/tasks", i)]
+		b := owners[fmt.Sprintf("seed-%d/monitor", i)]
+		if a == "" || a != b {
+			t.Fatalf("seed-%d split across %q and %q", i, a, b)
+		}
+	}
+}

@@ -68,17 +68,18 @@ type pendingMove struct {
 }
 
 // pendingMovesLocked lists the queues whose current owner is no longer
-// their ring owner. Caller holds r.mu.
+// their ring owner — computed over each queue's placement-group key,
+// so a whole group's queues move together. Caller holds r.mu.
 func (r *Router) pendingMovesLocked() []pendingMove {
 	var moves []pendingMove
 	for name, rt := range r.routes {
-		owner, ok := r.ring.owner(name)
+		rt.mu.Lock()
+		cur, group := rt.shard, rt.group
+		rt.mu.Unlock()
+		owner, ok := r.ring.owner(effectiveGroup(group, name))
 		if !ok {
 			continue
 		}
-		rt.mu.Lock()
-		cur := rt.shard
-		rt.mu.Unlock()
 		if owner != cur {
 			moves = append(moves, pendingMove{name: name, rt: rt, from: cur, to: owner})
 		}
@@ -114,6 +115,53 @@ func (r *Router) Rebalance() error {
 	moves := r.pendingMovesLocked()
 	r.mu.Unlock()
 	return r.runMoves(moves)
+}
+
+// Regroup assigns a queue to an explicit placement group and migrates
+// it onto the group's ring owner through the same drain-and-forward
+// machinery topology changes use — the migration story for namespaces
+// created before placement groups existed: an operator regroups a
+// job's queues one by one and their traffic converges onto one shard.
+// An empty group reverts to the name-derived key.
+//
+// Regroup serializes with Rebalance and topology changes on topoMu
+// (and, underneath, on the per-route freeze), so racing a Regroup
+// against a concurrent Rebalance of the same queue is safe: whichever
+// runs second simply re-evaluates the route and the placement
+// converges on the last group set. Neither call errors on the race.
+func (r *Router) Regroup(queueName, group string) error {
+	if strings.Contains(group, groupSep) {
+		// "job-7/tasks" as a group would hash the literal string while
+		// sibling queues hash "job-7" — reject instead of silently
+		// placing the queue away from the group it was meant to join.
+		return fmt.Errorf("%w: %q", ErrBadGroup, group)
+	}
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	r.mu.Lock()
+	rt := r.routes[queueName]
+	if rt == nil {
+		r.mu.Unlock()
+		return queue.ErrNoSuchQueue
+	}
+	rt.mu.Lock()
+	if rt.dead {
+		rt.mu.Unlock()
+		r.mu.Unlock()
+		return queue.ErrNoSuchQueue
+	}
+	rt.group = group
+	cur := rt.shard
+	rt.mu.Unlock()
+	owner, ok := r.ring.owner(effectiveGroup(group, queueName))
+	r.mu.Unlock()
+	if !ok {
+		return ErrNoShards
+	}
+	if owner == cur {
+		return nil
+	}
+	return r.migrate(pendingMove{name: queueName, rt: rt, from: cur, to: owner})
 }
 
 // migrate moves one queue: freeze, stream the visible backlog to the
@@ -198,15 +246,13 @@ func (r *Router) migrate(m pendingMove) error {
 		if len(msgs) == 0 {
 			break
 		}
-		bodies := make([][]byte, len(msgs))
 		receipts := make([]string, len(msgs))
 		for i, msg := range msgs {
-			bodies[i] = msg.Body
 			receipts[i] = msg.ReceiptHandle
 		}
-		// Send before delete: a failure between the two redelivers from
-		// the old shard instead of losing messages.
-		if _, err := toB.SendMessageBatch(m.name, bodies); err != nil {
+		// Transfer before delete: a failure between the two redelivers
+		// from the old shard instead of losing messages.
+		if err := transferBatch(toB, m.name, msgs); err != nil {
 			abort()
 			return err
 		}
@@ -361,19 +407,48 @@ func (r *Router) forwardVisible(name string, fromB queue.API) {
 		if err != nil || len(msgs) == 0 {
 			return
 		}
-		bodies := make([][]byte, len(msgs))
 		receipts := make([]string, len(msgs))
 		for i, msg := range msgs {
-			bodies[i] = msg.Body
 			receipts[i] = msg.ReceiptHandle
 		}
 		_, ownerB, err := r.ownerBackend(name)
 		if err != nil {
 			return // queue deleted while forwarding
 		}
-		if _, err := ownerB.SendMessageBatch(name, bodies); err != nil {
+		if err := transferBatch(ownerB, name, msgs); err != nil {
 			return
 		}
 		_, _ = fromB.DeleteMessageBatch(name, receipts)
 	}
+}
+
+// transferBatch moves one received batch onto dst, preserving each
+// message's delivery count through the privileged transfer surface:
+// the receive that pulled the batch off the source shard is router
+// plumbing, not a consumer delivery, so the count carried over is
+// Receives-1. (Only the receive of THIS attempt can be discounted: if
+// the transfer fails and the source redelivers, the failed attempt's
+// receive stays in the count — at most one budget unit per failed
+// attempt, erring toward earlier dead-lettering; see the package doc.)
+// When dst cannot take transfers — a foreign queue.API implementation,
+// or a remote shard whose admin token is not provisioned — it falls
+// back to a public re-send, which keeps the migration safe but
+// restarts counts (the pre-transfer behaviour).
+func transferBatch(dst queue.API, name string, msgs []queue.Message) error {
+	if tr, ok := dst.(queue.Transferrer); ok {
+		items := make([]queue.TransferItem, len(msgs))
+		for i, msg := range msgs {
+			items[i] = queue.TransferItem{Body: msg.Body, Receives: msg.Receives - 1}
+		}
+		_, err := tr.TransferInBatch(name, items)
+		if err == nil || !errors.Is(err, queue.ErrNotPrivileged) {
+			return err
+		}
+	}
+	bodies := make([][]byte, len(msgs))
+	for i, msg := range msgs {
+		bodies[i] = msg.Body
+	}
+	_, err := dst.SendMessageBatch(name, bodies)
+	return err
 }

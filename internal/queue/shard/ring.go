@@ -6,10 +6,20 @@
 // # Ring
 //
 // Each shard contributes VirtualNodes points to a hash ring; a queue
-// lives on the shard owning the first point at or after the hash of its
-// name. Virtual nodes keep the split even, and — the property the
-// router's rebalancing depends on — adding a shard to an N-shard ring
-// moves only ~1/(N+1) of the queues, all of them onto the new shard.
+// lives on the shard owning the first point at or after the hash of
+// its placement-group key. Virtual nodes keep the split even, and —
+// the property the router's rebalancing depends on — adding a shard to
+// an N-shard ring moves only ~1/(N+1) of the groups, all of them onto
+// the new shard.
+//
+// # Placement groups
+//
+// The ring hashes DeriveGroup(name) — the prefix before the first '/',
+// or the whole name — rather than the raw queue name, so "job-7/tasks",
+// "job-7/monitor", and "job-7/dead" co-locate on one shard and a job's
+// queue traffic never crosses shards. Router.Regroup assigns an
+// explicit group to a queue whose name predates the convention and
+// migrates it onto the group's shard.
 //
 // # Migration
 //
@@ -24,13 +34,20 @@
 // and never duplicated beyond the at-least-once contract the queue
 // already has.
 //
-// One caveat follows from moving messages through the public queue API
-// (which is what lets shards be remote): a migrated message is a fresh
-// send on the new owner, so its delivery count restarts — like an SQS
-// queue-to-queue move. A poison task's progress toward a MaxReceives
-// dead-letter cap resets when its queue migrates; topology changes are
-// rare operator events, so the cap still trips, just later. Preserving
-// counts would need a privileged transfer API (see ROADMAP).
+// Migration moves messages through the privileged transfer API
+// (queue.Transferrer), which carries each message's delivery count to
+// the new owner: a poison task's progress toward a MaxReceives
+// dead-letter cap survives the move, so consumers like classiccloud
+// dead-letter after exactly MaxReceives receives no matter how often
+// the topology changed underneath them. Two bounded caveats: a drain
+// attempt that fails AFTER receiving a batch (transfer error, then
+// abort) leaves those messages' counts advanced by that one receive —
+// each failed attempt can consume at most one unit of retry budget,
+// erring toward earlier dead-lettering, never toward retrying forever.
+// And when a destination cannot take transfers at all — a remote shard
+// without its admin token provisioned — the migrator falls back to a
+// public re-send, which restarts the count like an SQS queue-to-queue
+// move.
 package shard
 
 import (

@@ -19,6 +19,11 @@ var (
 	ErrShardExists = errors.New("shard: shard id already registered")
 	ErrNoSuchShard = errors.New("shard: no such shard")
 	ErrBadShardID  = errors.New("shard: shard id must be non-empty and must not contain '~'")
+	// ErrBadGroup rejects an explicit placement group containing the
+	// group separator: "job-7/tasks" as a group would hash the literal
+	// string while the group's own queues hash "job-7", silently
+	// breaking the co-location the caller asked for.
+	ErrBadGroup = errors.New("shard: placement group must not contain '/'")
 )
 
 // receiptSep joins the issuing shard's id to a receipt handle. Receipts
@@ -26,6 +31,34 @@ var (
 // current owner — so acknowledgements keep working while a queue
 // migrates away from in-flight messages.
 const receiptSep = "~"
+
+// groupSep splits a queue name into its placement-group key and the
+// queue's own name: "job-7/tasks" belongs to group "job-7".
+const groupSep = "/"
+
+// DeriveGroup returns the placement-group key a queue name implies:
+// the segment before the first '/', or the whole name for an ungrouped
+// name. The ring hashes this key instead of the full name, so every
+// queue of one group — a job's task, monitor, and dead-letter queues —
+// lands on the same shard and the job's queue traffic never crosses
+// shards. An explicit group set with Router.Regroup overrides the
+// derived one.
+func DeriveGroup(name string) string {
+	if i := strings.Index(name, groupSep); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// effectiveGroup is the single definition of a queue's ring key: the
+// route's explicit group when set, else the name-derived one. Every
+// placement computation must agree on this rule.
+func effectiveGroup(group, name string) string {
+	if group != "" {
+		return group
+	}
+	return DeriveGroup(name)
+}
 
 func wrapReceipt(shardID, receipt string) string { return shardID + receiptSep + receipt }
 
@@ -73,10 +106,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Router fronts N queue services with one queue.API. Queue names map to
-// shards through a consistent-hash ring; every data-plane call is
-// forwarded to the owning shard, receipts route back to the shard that
-// issued them, and shards can be added or removed at runtime with
-// drain-and-forward queue migration.
+// shards through a consistent-hash ring over their placement-group key
+// (DeriveGroup, or an explicit group set with Regroup), so one group's
+// queues co-locate; every data-plane call is forwarded to the owning
+// shard, receipts route back to the shard that issued them, and shards
+// can be added or removed at runtime with drain-and-forward queue
+// migration that preserves delivery counts through the privileged
+// transfer API.
 type Router struct {
 	cfg Config
 
@@ -105,6 +141,9 @@ type route struct {
 	mu sync.Mutex
 	// shard currently owning the queue.
 	shard string
+	// group is the explicit placement group set by Regroup; empty means
+	// the group is derived from the queue name (DeriveGroup).
+	group string
 	// frozen is non-nil while the queue migrates; operations wait for
 	// it to close (the thaw) and then resolve the new owner.
 	frozen chan struct{}
@@ -117,7 +156,10 @@ type route struct {
 	draining map[string]bool
 }
 
-var _ queue.API = (*Router)(nil)
+var (
+	_ queue.API         = (*Router)(nil)
+	_ queue.Transferrer = (*Router)(nil)
+)
 
 // NewRouter creates an empty router; add shards before creating queues.
 func NewRouter(cfg Config) *Router {
@@ -215,7 +257,7 @@ func (r *Router) CreateQueue(name string) error {
 		r.mu.Unlock()
 		return queue.ErrQueueExists
 	}
-	owner, ok := r.ring.owner(name)
+	owner, ok := r.ring.owner(DeriveGroup(name))
 	if !ok {
 		r.mu.Unlock()
 		return ErrNoShards
@@ -336,6 +378,48 @@ func (r *Router) SendMessageBatch(queueName string, bodies [][]byte) ([]string, 
 	err := r.onOwner(queueName, func(_ string, b queue.API) error {
 		var err error
 		ids, err = b.SendMessageBatch(queueName, bodies)
+		return err
+	})
+	return ids, err
+}
+
+// TransferIn routes a privileged count-preserving enqueue to the
+// owning shard (queue.Transferrer).
+func (r *Router) TransferIn(queueName string, body []byte, receives int) (string, error) {
+	ids, err := r.TransferInBatch(queueName, []queue.TransferItem{{Body: body, Receives: receives}})
+	if err != nil {
+		return "", err
+	}
+	if len(ids) == 0 {
+		// A malformed remote shard answered without ids; don't panic.
+		return "", fmt.Errorf("shard: transfer into %s: backend returned no ids", queueName)
+	}
+	return ids[0], nil
+}
+
+// TransferInBatch routes a privileged count-preserving batch enqueue
+// to the owning shard, billed as one request like every routed batch
+// call. The backing shard must also implement queue.Transferrer — a
+// remote shard additionally needs its admin token configured, or the
+// call fails with queue.ErrNotPrivileged.
+func (r *Router) TransferInBatch(queueName string, items []queue.TransferItem) ([]string, error) {
+	if len(items) == 0 || len(items) > queue.MaxBatch {
+		return nil, queue.ErrBatchSize
+	}
+	for _, it := range items {
+		if it.Receives < 0 {
+			return nil, fmt.Errorf("%w: %d", queue.ErrBadTransfer, it.Receives)
+		}
+	}
+	r.count(queueName)
+	var ids []string
+	err := r.onOwner(queueName, func(id string, b queue.API) error {
+		tr, ok := b.(queue.Transferrer)
+		if !ok {
+			return fmt.Errorf("shard: shard %s cannot accept transfers: %w", id, queue.ErrNotPrivileged)
+		}
+		var err error
+		ids, err = tr.TransferInBatch(queueName, items)
 		return err
 	})
 	return ids, err

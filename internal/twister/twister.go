@@ -82,8 +82,10 @@ func (c JobConfig) withDefaults() JobConfig {
 	return c
 }
 
-func (c JobConfig) taskQueue() string    { return c.Name + "-twister-tasks" }
-func (c JobConfig) monitorQueue() string { return c.Name + "-twister-monitor" }
+// Queue names use the job name as a placement-group prefix so a
+// sharded queue deployment co-locates one job's queues.
+func (c JobConfig) taskQueue() string    { return c.Name + "/twister-tasks" }
+func (c JobConfig) monitorQueue() string { return c.Name + "/twister-monitor" }
 func (c JobConfig) dataBucket() string   { return c.Name + "-twister-data" }
 
 // taskMsg is one map-task message.
