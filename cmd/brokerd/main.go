@@ -16,6 +16,17 @@
 //	POST /jobs; GET /jobs, /jobs/{id}, /jobs/{id}/events,
 //	/jobs/{id}/cost, /jobs/{id}/deadletters, /jobs/{id}/outputs,
 //	/jobs/{id}/journal; POST /jobs/{id}/preempt; GET /fleet, /tenants
+//
+// Observability:
+//
+//	GET /metrics    whole-stack telemetry — queue op latency histograms,
+//	                blob op histograms and byte gauges, per-task service
+//	                time percentiles, autoscale decision counters, fleet
+//	                and backlog gauges (Prometheus text; ?format=json)
+//
+// Each job is assigned a trace ID at submission (reported in its
+// status); every queue request its control loop and workers make carries
+// it as X-Trace-Id. -pprof serves net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -31,6 +43,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/classiccloud"
 	"repro/internal/queue"
+	"repro/internal/telemetry"
 )
 
 // parseQuotas decodes "alice=6,bob=2" into a quota map.
@@ -69,6 +82,7 @@ func main() {
 		"broker-wide running-instance budget shared by all tenants (0 = sum of quotas, or unlimited)")
 	tenantQuotas := flag.String("tenant-quotas", "",
 		"per-tenant instance quotas, e.g. alice=6,bob=2")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	quotas, err := parseQuotas(*tenantQuotas)
@@ -76,12 +90,14 @@ func main() {
 		log.Fatalf("brokerd: -tenant-quotas: %v", err)
 	}
 
+	reg := telemetry.NewRegistry()
 	env := classiccloud.Env{
-		Blob:  blob.NewStore(blob.Config{}),
-		Queue: queue.NewService(queue.Config{}),
+		Blob:  blob.NewStore(blob.Config{Metrics: reg}),
+		Queue: queue.NewService(queue.Config{Metrics: reg}),
 	}
 	b := broker.New(broker.Config{
-		Env: env,
+		Env:     env,
+		Metrics: reg,
 		Autoscale: broker.AutoscalePolicy{
 			MinInstances: *minFleet,
 			MaxInstances: *maxFleet,
@@ -108,9 +124,20 @@ func main() {
 		log.Printf("brokerd: recovered %d running job(s) from journal bucket %q", n, *journalBucket)
 	}
 
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("brokerd: pprof enabled on /debug/pprof/")
+	}
+	mux.Handle("/", &broker.HTTPHandler{Broker: b})
 	log.Printf("brokerd: listening on %s (max fleet %d, %d workers/instance, journal %q)",
 		*addr, *maxFleet, *workers, *journalBucket)
-	if err := http.ListenAndServe(*addr, &broker.HTTPHandler{Broker: b}); err != nil {
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

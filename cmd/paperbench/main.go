@@ -28,6 +28,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/queue"
 	"repro/internal/queue/shard"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -308,6 +309,13 @@ type queueBenchReport struct {
 	// on small CI machines, and this number gates CI — minima compare
 	// the clean runs, the same reasoning as the broker bench.
 	LongPollWakeupNs float64 `json:"long_poll_wakeup_ns"`
+	// ReceiveP50Ns/ReceiveP99Ns are the service's own telemetry view of
+	// the contention workload: percentiles of the queue_op_ns{op=receive}
+	// histogram the instrumented service records about itself. They gate
+	// CI like every other _ns field (3x tolerance — the histogram's
+	// power-of-two buckets quantize, so small shifts are expected).
+	ReceiveP50Ns float64 `json:"contention_receive_p50_ns"`
+	ReceiveP99Ns float64 `json:"contention_receive_p99_ns"`
 }
 
 // queueBench measures the rewritten queue core — per-queue locking,
@@ -317,8 +325,12 @@ func queueBench() {
 	rep := queueBenchReport{}
 
 	// Contention: 8 queues × 8 workers, the multi-tenant broker shape.
+	// The service is instrumented for this run: the same telemetry a
+	// deployed daemon serves on /metrics yields the latency percentiles
+	// below, and the full registry is written out as an artifact.
+	reg := telemetry.NewRegistry()
 	{
-		svc := queue.NewService(queue.Config{Seed: 1})
+		svc := queue.NewService(queue.Config{Seed: 1, Metrics: reg})
 		const queues, workers, cycles = 8, 8, 2000
 		for qi := 0; qi < queues; qi++ {
 			svc.CreateQueue(fmt.Sprintf("q%d", qi))
@@ -343,6 +355,9 @@ func queueBench() {
 		}
 		wg.Wait()
 		rep.ContentionOpsPerSec = float64(queues*workers*cycles) / time.Since(start).Seconds()
+		recv := reg.Histogram(telemetry.Label("queue_op_ns", "op", "receive"))
+		rep.ReceiveP50Ns = float64(recv.Quantile(0.50).Nanoseconds())
+		rep.ReceiveP99Ns = float64(recv.Quantile(0.99).Nanoseconds())
 	}
 
 	// Dead backlog: 100k deleted + 100 live, steady-state receives.
@@ -447,6 +462,7 @@ func queueBench() {
 	fmt.Printf("billed requests per task, single:   %12.2f\n", rep.SingleRequestsPerTask)
 	fmt.Printf("billed requests per task, batched:  %12.2f\n", rep.BatchRequestsPerTask)
 	fmt.Printf("long-poll wakeup latency:           %12.0f ns\n", rep.LongPollWakeupNs)
+	fmt.Printf("contention receive p50/p99:         %12.0f / %.0f ns\n", rep.ReceiveP50Ns, rep.ReceiveP99Ns)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -458,6 +474,14 @@ func queueBench() {
 		return
 	}
 	fmt.Println("baseline written to BENCH_queue.json")
+	// The raw registry, exactly as a daemon's /metrics would serve it —
+	// kept as a CI artifact (not a gated baseline) so a regression
+	// investigation starts from the full histograms, not two percentiles.
+	if err := os.WriteFile("BENCH_metrics.prom", reg.RenderProm(), 0o644); err != nil {
+		fail(err)
+		return
+	}
+	fmt.Println("telemetry snapshot written to BENCH_metrics.prom")
 }
 
 // shardPoint is one shard count on the scaling curve.

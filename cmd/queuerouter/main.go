@@ -21,6 +21,20 @@
 //	DELETE /admin/shards/{id}          retire a shard (migrates its queues)
 //	POST   /admin/rebalance            retry migrations the ring implies
 //	POST   /admin/regroup?queue=Q&group=G  move a queue into placement group G
+//	POST   /admin/regroup?prefix=P&group=G bulk-move every live queue whose
+//	                                       name starts with P (returns
+//	                                       {"matched": N})
+//
+// Observability:
+//
+//	GET /metrics    router telemetry — per-op latency histograms, per-shard
+//	                request rates and backlog gauges, HTTP latency
+//	                (Prometheus text; ?format=json for JSON)
+//
+// -slow logs any request slower than the threshold, keyed by the
+// X-Trace-Id request header (generated when absent, echoed always), so a
+// slow call is attributable across router and shard logs. -pprof
+// additionally serves net/http/pprof under /debug/pprof/.
 //
 // Placement groups: the ring hashes the part of a queue name before
 // the first '/' (so "job-7/tasks" and "job-7/monitor" share a shard);
@@ -31,7 +45,11 @@
 // through the privileged transfer endpoint. -transfer-token provisions
 // that endpoint on this router AND authorizes the router against its
 // remote shards (which must run with the same token); without it,
-// migration falls back to a count-resetting public re-send.
+// migration falls back to a count-resetting public re-send. The flag
+// takes a comma-separated list for zero-downtime rotation: every listed
+// token is ACCEPTED on this router's transfer endpoint, and the FIRST is
+// presented to remote shards — provision old+new on the shards, list
+// "new,old" here, then drop the old everywhere.
 package main
 
 import (
@@ -41,10 +59,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
 	"repro/internal/queue"
 	"repro/internal/queue/shard"
+	"repro/internal/telemetry"
 )
 
 // parseShards decodes "a=http://node1:8080,b=http://node2:8080".
@@ -91,11 +111,27 @@ func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		queueName := r.URL.Query().Get("queue")
-		if queueName == "" {
-			http.Error(w, "shard: missing queue parameter", http.StatusBadRequest)
+		prefix := r.URL.Query().Get("prefix")
+		group := r.URL.Query().Get("group")
+		if (queueName == "") == (prefix == "") {
+			http.Error(w, "shard: need exactly one of queue= or prefix=", http.StatusBadRequest)
 			return
 		}
-		group := r.URL.Query().Get("group")
+		if prefix != "" {
+			matched, err := h.router.RegroupPrefix(prefix, group)
+			if err != nil {
+				if errors.Is(err, shard.ErrBadGroup) {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+				} else {
+					http.Error(w, err.Error(), http.StatusBadGateway)
+				}
+				return
+			}
+			log.Printf("queuerouter: regrouped %d queue(s) with prefix %q into %q", matched, prefix, group)
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]int{"matched": matched})
+			return
+		}
 		if err := h.router.Regroup(queueName, group); err != nil {
 			switch {
 			case errors.Is(err, queue.ErrNoSuchQueue):
@@ -152,7 +188,10 @@ func main() {
 	local := flag.Int("local", 0, "run N in-process shards instead of remote ones")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (default 64)")
 	transferToken := flag.String("transfer-token", "",
-		"admin token for the privileged count-preserving transfer endpoint, served by this router and presented to remote shards (empty disables the endpoint; migration then re-sends publicly, resetting delivery counts)")
+		"admin token(s) for the privileged count-preserving transfer endpoint, comma-separated for rotation: all are accepted by this router, the first is presented to remote shards (empty disables the endpoint; migration then re-sends publicly, resetting delivery counts)")
+	slow := flag.Duration("slow", 0,
+		"log requests slower than this, keyed by X-Trace-Id (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	remotes, err := parseShards(*shardsFlag)
@@ -162,28 +201,63 @@ func main() {
 	if len(remotes) == 0 && *local <= 0 {
 		log.Fatal("queuerouter: need -shards or -local N")
 	}
+	tokens := splitTokens(*transferToken)
+	presentToken := ""
+	if len(tokens) > 0 {
+		presentToken = tokens[0]
+	}
 
-	router := shard.NewRouter(shard.Config{VirtualNodes: *vnodes})
+	reg := telemetry.NewRegistry()
+	router := shard.NewRouter(shard.Config{VirtualNodes: *vnodes, Metrics: reg})
 	defer router.Close()
 	for id, url := range remotes {
-		if err := router.AddShard(id, &queue.HTTPClient{BaseURL: url, AdminToken: *transferToken}); err != nil {
+		if err := router.AddShard(id, &queue.HTTPClient{BaseURL: url, AdminToken: presentToken}); err != nil {
 			log.Fatalf("queuerouter: add shard %q: %v", id, err)
 		}
 		log.Printf("queuerouter: shard %q -> %s", id, url)
 	}
 	for i := 0; i < *local; i++ {
 		id := fmt.Sprintf("local%d", i)
-		if err := router.AddShard(id, queue.NewService(queue.Config{Seed: int64(i + 1)})); err != nil {
+		svc := queue.NewService(queue.Config{
+			Seed: int64(i + 1), Metrics: reg, MetricsName: id,
+		})
+		if err := router.AddShard(id, svc); err != nil {
 			log.Fatalf("queuerouter: add shard %q: %v", id, err)
 		}
 		log.Printf("queuerouter: shard %q (in-process)", id)
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/admin/", &adminHandler{router: router, transferToken: *transferToken})
-	mux.Handle("/", &queue.HTTPHandler{Service: router, AdminToken: *transferToken})
+	mux.Handle("/metrics", reg.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("queuerouter: pprof enabled on /debug/pprof/")
+	}
+	mux.Handle("/admin/", &adminHandler{router: router, transferToken: presentToken})
+	mux.Handle("/", &queue.HTTPHandler{
+		Service:     router,
+		AdminTokens: tokens,
+		SlowRequest: *slow,
+		Metrics:     reg,
+	})
 	log.Printf("queuerouter: listening on %s with %d shard(s)", *addr, len(router.Shards()))
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// splitTokens decodes the comma-separated -transfer-token list, dropping
+// empty entries.
+func splitTokens(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Clock abstracts time (see queue.Clock); nil selects the wall clock.
@@ -38,6 +40,11 @@ type Config struct {
 	BandwidthBytesPerSec float64
 	// Clock defaults to the wall clock.
 	Clock Clock
+	// Metrics, when set, receives per-op latency histograms (blob_op_ns,
+	// including simulated transfer time) and gauges over the accounting
+	// counters (blob_bytes_in/out/stored, blob_requests). Nil leaves the
+	// data path uninstrumented.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -96,11 +103,50 @@ type Store struct {
 	cfg     Config
 	buckets map[string]*bucket
 	usage   Usage
+	// met is non-nil iff Config.Metrics was set.
+	met map[string]*telemetry.Histogram
 }
+
+// storeOps is the set of operations that get their own latency
+// histogram. "get" covers Get, GetConsistent, Stat, and Exists — all
+// billed GETs; latency includes the simulated transfer sleep, so the
+// histograms show what callers actually waited.
+var storeOps = []string{"put", "put_if", "append", "get", "delete", "list"}
 
 // NewStore creates a store.
 func NewStore(cfg Config) *Store {
-	return &Store{cfg: cfg.withDefaults(), buckets: make(map[string]*bucket)}
+	s := &Store{cfg: cfg.withDefaults(), buckets: make(map[string]*bucket)}
+	if reg := s.cfg.Metrics; reg != nil {
+		s.met = make(map[string]*telemetry.Histogram, len(storeOps))
+		for _, op := range storeOps {
+			s.met[op] = reg.Histogram(telemetry.Label("blob_op_ns", "op", op))
+		}
+		// The accounting counters already exist under s.mu; expose them
+		// as render-time gauges instead of maintaining parallel counters
+		// on the data path.
+		reg.GaugeFunc("blob_bytes_in", func() int64 { return s.Usage().BytesIn })
+		reg.GaugeFunc("blob_bytes_out", func() int64 { return s.Usage().BytesOut })
+		reg.GaugeFunc("blob_bytes_stored", func() int64 { return s.Usage().BytesStored })
+		reg.GaugeFunc("blob_requests", func() int64 { return s.Usage().Requests() })
+	}
+	return s
+}
+
+// opStart stamps the beginning of an instrumented operation; the zero
+// time when the store is uninstrumented (no clock read on that path).
+func (s *Store) opStart() time.Time {
+	if s.met == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// opDone records one operation's latency (paired with opStart via defer).
+func (s *Store) opDone(op string, start time.Time) {
+	if s.met == nil {
+		return
+	}
+	s.met[op].Observe(time.Since(start))
 }
 
 // Usage returns a snapshot of accounting counters.
@@ -167,6 +213,7 @@ func (s *Store) DeleteBucket(name string) error {
 // Ingress bytes are counted only for accepted writes: a PUT against a
 // missing bucket bills the request but transfers nothing.
 func (s *Store) Put(bucketName, key string, data []byte) error {
+	defer s.opDone("put", s.opStart())
 	s.simulateTransfer(len(data))
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -208,6 +255,7 @@ func (s *Store) putLocked(b *bucket, key string, data []byte) int64 {
 // holds (the service had to evaluate it), but ingress bytes only count
 // for accepted writes.
 func (s *Store) PutIf(bucketName, key string, data []byte, ifVersion int64) (int64, error) {
+	defer s.opDone("put_if", s.opStart())
 	s.simulateTransfer(len(data))
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -234,6 +282,7 @@ func (s *Store) PutIf(bucketName, key string, data []byte, ifVersion int64) (int
 // view would violate read-your-writes); each append is one billed PUT.
 // It returns the object's new version.
 func (s *Store) Append(bucketName, key string, data []byte) (int64, error) {
+	defer s.opDone("append", s.opStart())
 	s.simulateTransfer(len(data))
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -264,6 +313,7 @@ func (s *Store) Append(bucketName, key string, data []byte) (int64, error) {
 // (consistent view, billed as one GET like Exists). Like any metadata
 // request it still pays the simulated HTTP round trip.
 func (s *Store) Stat(bucketName, key string) (size, version int64, err error) {
+	defer s.opDone("get", s.opStart())
 	s.simulateTransfer(0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -284,6 +334,7 @@ func (s *Store) Stat(bucketName, key string) (size, version int64, err error) {
 // the previous bytes for an overwrite — S3's classic eventual-consistency
 // anomalies.
 func (s *Store) Get(bucketName, key string) ([]byte, error) {
+	defer s.opDone("get", s.opStart())
 	s.mu.Lock()
 	b, ok := s.buckets[bucketName]
 	if !ok {
@@ -322,6 +373,7 @@ func (s *Store) Get(bucketName, key string) ([]byte, error) {
 // GetConsistent reads the latest version regardless of the consistency
 // window (the moral equivalent of retrying until the write is visible).
 func (s *Store) GetConsistent(bucketName, key string) ([]byte, error) {
+	defer s.opDone("get", s.opStart())
 	s.mu.Lock()
 	b, ok := s.buckets[bucketName]
 	if !ok {
@@ -345,6 +397,7 @@ func (s *Store) GetConsistent(bucketName, key string) ([]byte, error) {
 // Delete removes an object. Deleting a missing key is not an error,
 // matching S3.
 func (s *Store) Delete(bucketName, key string) error {
+	defer s.opDone("delete", s.opStart())
 	s.simulateTransfer(0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -362,6 +415,7 @@ func (s *Store) Delete(bucketName, key string) error {
 
 // List returns keys in a bucket with the given prefix, sorted.
 func (s *Store) List(bucketName, prefix string) ([]string, error) {
+	defer s.opDone("list", s.opStart())
 	s.simulateTransfer(0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -383,6 +437,7 @@ func (s *Store) List(bucketName, prefix string) ([]string, error) {
 // Exists reports whether a key currently exists (consistent view). It
 // pays the simulated round trip like every other request.
 func (s *Store) Exists(bucketName, key string) (bool, error) {
+	defer s.opDone("get", s.opStart())
 	s.simulateTransfer(0)
 	s.mu.Lock()
 	defer s.mu.Unlock()

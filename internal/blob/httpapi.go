@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // HTTPHandler exposes a Store through an S3-shaped REST interface, the
@@ -37,6 +39,9 @@ const VersionHeader = "X-Blob-Version"
 
 // ServeHTTP implements http.Handler.
 func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if tid := r.Header.Get(telemetry.TraceHeader); tid != "" {
+		w.Header().Set(telemetry.TraceHeader, tid)
+	}
 	path := strings.TrimPrefix(r.URL.Path, "/")
 	bucket, key, hasKey := strings.Cut(path, "/")
 	if bucket == "" {
@@ -177,6 +182,17 @@ func writeStoreError(w http.ResponseWriter, err error) {
 type HTTPClient struct {
 	BaseURL string
 	Client  *http.Client
+	// TraceID, when set, is stamped on every request as X-Trace-Id so
+	// the store's access log can attribute this client's traffic.
+	TraceID string
+}
+
+// WithTrace returns a copy of the client whose requests carry the given
+// trace ID.
+func (c *HTTPClient) WithTrace(traceID string) *HTTPClient {
+	scoped := *c
+	scoped.TraceID = traceID
+	return &scoped
 }
 
 func (c *HTTPClient) httpClient() *http.Client {
@@ -184,6 +200,15 @@ func (c *HTTPClient) httpClient() *http.Client {
 		return c.Client
 	}
 	return http.DefaultClient
+}
+
+// send stamps the trace header (when scoped) and issues the request —
+// the single exit point for every HTTPClient request.
+func (c *HTTPClient) send(req *http.Request) (*http.Response, error) {
+	if c.TraceID != "" {
+		req.Header.Set(telemetry.TraceHeader, c.TraceID)
+	}
+	return c.httpClient().Do(req)
 }
 
 // CreateBucket creates (idempotently) a bucket.
@@ -206,7 +231,11 @@ func (c *HTTPClient) Put(bucket, key string, data []byte) error {
 
 // Get downloads an object.
 func (c *HTTPClient) Get(bucket, key string) ([]byte, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/" + bucket + "/" + key)
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/"+bucket+"/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.send(req)
 	if err != nil {
 		return nil, err
 	}
@@ -223,8 +252,12 @@ func (c *HTTPClient) Get(bucket, key string) ([]byte, error) {
 // Append appends data to an object (creating it when absent) and
 // returns the object's new version.
 func (c *HTTPClient) Append(bucket, key string, data []byte) (int64, error) {
-	resp, err := c.httpClient().Post(c.BaseURL+"/"+bucket+"/"+key,
-		"application/octet-stream", bytes.NewReader(data))
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/"+bucket+"/"+key, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.send(req)
 	if err != nil {
 		return 0, err
 	}
@@ -245,7 +278,7 @@ func (c *HTTPClient) PutIf(bucket, key string, data []byte, ifVersion int64) (in
 		return 0, err
 	}
 	req.Header.Set("If-Match", strconv.FormatInt(ifVersion, 10))
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return 0, err
 	}
@@ -264,7 +297,11 @@ func (c *HTTPClient) PutIf(bucket, key string, data []byte, ifVersion int64) (in
 
 // Stat reports an object's size and version via HEAD.
 func (c *HTTPClient) Stat(bucket, key string) (size, version int64, err error) {
-	resp, err := c.httpClient().Head(c.BaseURL + "/" + bucket + "/" + key)
+	req, err := http.NewRequest(http.MethodHead, c.BaseURL+"/"+bucket+"/"+key, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := c.send(req)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -291,7 +328,11 @@ func (c *HTTPClient) Delete(bucket, key string) error {
 
 // List returns keys with the prefix.
 func (c *HTTPClient) List(bucket, prefix string) ([]string, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/" + bucket + "?prefix=" + prefix)
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/"+bucket+"?prefix="+prefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.send(req)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +354,7 @@ func (c *HTTPClient) List(bucket, prefix string) ([]string, error) {
 }
 
 func (c *HTTPClient) do(req *http.Request, okStatuses ...int) error {
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return err
 	}

@@ -43,6 +43,8 @@ import (
 	"repro/internal/blob"
 	"repro/internal/classiccloud"
 	"repro/internal/cloud"
+	"repro/internal/queue"
+	"repro/internal/telemetry"
 )
 
 // DisableJournal as Config.JournalBucket turns event journaling off:
@@ -91,6 +93,11 @@ type Config struct {
 	// draw on it by deficit-weighted fair share. 0 selects the sum of
 	// TenantQuotas when quotas are configured, else unlimited.
 	FleetBudget int
+	// Metrics, when set, receives the broker's instruments: the per-task
+	// service-time histogram (broker_task_service_ns, worker-measured),
+	// task settlement and scaling counters, autoscale decision counters,
+	// and fleet/job gauges. Nil leaves the broker uninstrumented.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +174,7 @@ type JobRequest struct {
 type Broker struct {
 	cfg   Config
 	sched *scheduler
+	met   *brokerMetrics
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -186,6 +194,7 @@ func New(cfg Config) *Broker {
 		sched: newScheduler(cfg.TenantQuotas, cfg.FleetBudget),
 		jobs:  make(map[string]*Job),
 	}
+	b.met = newBrokerMetrics(b, cfg.Metrics)
 	if cfg.journalEnabled() && cfg.Env.Blob != nil {
 		// Best-effort: an unusable journal bucket surfaces per-submission,
 		// where there is an error path to report it on.
@@ -200,6 +209,20 @@ func (b *Broker) journalFor(jobID string) *journal {
 		return nil
 	}
 	return &journal{store: b.cfg.Env.Blob, bucket: b.cfg.JournalBucket, key: journalKey(jobID)}
+}
+
+// traceEnv returns the broker's environment with the queue client
+// scoped to the given trace ID, when the backend supports it (the HTTP
+// client and the shard router both do). Every queue request the job's
+// control loop and worker fleet make then carries X-Trace-Id, so one
+// job's traffic can be followed across the router to the owning shard.
+// Backends without trace support are used unchanged.
+func (b *Broker) traceEnv(trace string) classiccloud.Env {
+	env := b.cfg.Env
+	if ts, ok := env.Queue.(queue.TraceScoper); ok && trace != "" {
+		env.Queue = ts.WithTrace(trace)
+	}
+	return env
 }
 
 // ccConfigFor derives a job's Classic Cloud deployment config; it is a
@@ -256,6 +279,7 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 		ID:       id,
 		App:      req.App,
 		Tenant:   tenant,
+		trace:    telemetry.NewTraceID(),
 		broker:   b,
 		exec:     exec,
 		policy:   policy,
@@ -265,6 +289,7 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 		finished: make(chan struct{}),
 		insts:    make(map[int]*classiccloud.Instance),
 	}
+	j.env = b.traceEnv(j.trace)
 	j.crashBudget.Store(int64(req.InjectCrashes))
 
 	// Cost-aware instance selection against the calibrated model.
@@ -305,7 +330,7 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 			return nil, fmt.Errorf("broker: journal for %s already exists (restarted without Recover?)", id)
 		}
 	}
-	j.cc = classiccloud.NewClient(b.cfg.Env, j.ccCfg)
+	j.cc = classiccloud.NewClient(j.env, j.ccCfg)
 	if err := j.cc.Setup(); err != nil {
 		return nil, err
 	}
@@ -451,6 +476,7 @@ func (b *Broker) adoptJob(id string) (bool, error) {
 		ID:       id,
 		App:      rec.App,
 		Tenant:   rec.Tenant,
+		trace:    telemetry.NewTraceID(),
 		broker:   b,
 		policy:   rec.Policy.withDefaults(),
 		itype:    resolveInstanceType(rec.Provider, rec.Instance, b.cfg.Catalog, b.cfg.DefaultInstance),
@@ -460,8 +486,9 @@ func (b *Broker) adoptJob(id string) (bool, error) {
 		insts:    make(map[int]*classiccloud.Instance),
 		core:     *rec,
 	}
+	j.env = b.traceEnv(j.trace)
 	j.ccCfg = b.ccConfigFor(id)
-	j.cc = classiccloud.NewClient(b.cfg.Env, j.ccCfg)
+	j.cc = classiccloud.NewClient(j.env, j.ccCfg)
 
 	if rec.State != StateRunning {
 		// Terminal: register for queryability; no loops, no fleet.

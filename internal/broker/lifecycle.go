@@ -36,6 +36,14 @@ type Job struct {
 	App    string
 	Tenant string
 
+	// trace is the job's request-trace ID: every queue request made by
+	// the control loop and the worker fleet carries it (via env, the
+	// broker environment with a trace-scoped queue client), so one job's
+	// traffic is attributable end to end in daemon slow-request logs. A
+	// recovered job gets a fresh ID — each adoption is a new trace.
+	trace string
+	env   classiccloud.Env
+
 	broker *Broker
 	cc     *classiccloud.Client
 	ccCfg  classiccloud.Config
@@ -113,7 +121,7 @@ func (j *Job) run() {
 // the redelivered reports fold into the done-set idempotently — a
 // settlement can be replayed but never lost and never double-counted.
 func (j *Job) drainMonitor() {
-	svc := j.broker.cfg.Env.Queue
+	svc := j.env.Queue
 	qn := j.ccCfg.MonitorQueue()
 	for {
 		msgs, err := svc.ReceiveMessageBatch(qn, j.ccCfg.VisibilityTimeout, queue.MaxBatch, 0)
@@ -129,19 +137,23 @@ func (j *Job) drainMonitor() {
 		// double-report and still counts.
 		seen := make(map[string]bool, len(msgs))
 		var done, dead []string
+		var svcTimes []time.Duration
 		for _, m := range msgs {
-			st, id, perr := classiccloud.ParseMonitorMessage(m.Body)
-			if perr != nil || id == "" {
+			rep, perr := classiccloud.ParseMonitorReport(m.Body)
+			if perr != nil || rep.TaskID == "" {
 				continue
 			}
-			if st == classiccloud.StatusDead {
-				if !j.core.Dead[id] {
-					dead = append(dead, id)
+			if rep.Status == classiccloud.StatusDead {
+				if !j.core.Dead[rep.TaskID] {
+					dead = append(dead, rep.TaskID)
 				}
-			} else if !j.core.Done[id] || seen[id] {
-				done = append(done, id)
+			} else if !j.core.Done[rep.TaskID] || seen[rep.TaskID] {
+				done = append(done, rep.TaskID)
+				if rep.ServiceTime > 0 {
+					svcTimes = append(svcTimes, rep.ServiceTime)
+				}
 			}
-			seen[id] = true
+			seen[rep.TaskID] = true
 		}
 		if len(done) > 0 || len(dead) > 0 {
 			err := j.recordLocked(Event{
@@ -153,6 +165,10 @@ func (j *Job) drainMonitor() {
 				j.mu.Unlock()
 				return
 			}
+			// Observed only after the checkpoint is durable: reports
+			// from a failed checkpoint redeliver and must not be
+			// histogrammed twice.
+			j.broker.met.settled(len(done), len(dead), svcTimes)
 		}
 		j.mu.Unlock()
 		receipts := make([]string, len(msgs))
@@ -194,7 +210,7 @@ func (j *Job) maybeComplete() bool {
 // autoscaleTick observes the queues and applies one policy decision,
 // with scale-ups granted by the broker's fair-share scheduler.
 func (j *Job) autoscaleTick() {
-	env := j.broker.cfg.Env
+	env := j.env
 	visible, inflight, err := env.Queue.ApproximateCount(j.ccCfg.TaskQueue())
 	if err != nil {
 		return
@@ -236,9 +252,13 @@ func (j *Job) autoscaleTick() {
 	})
 	switch {
 	case d.Delta > 0:
+		j.broker.met.decision("up")
 		j.scaleUpLocked(d.Delta, d.Reason)
 	case d.Delta < 0:
+		j.broker.met.decision("down")
 		j.scaleDownToLocked(fleet+d.Delta, d.Reason)
+	default:
+		j.broker.met.decision("hold")
 	}
 }
 
@@ -264,7 +284,7 @@ func (j *Job) scaleUpLocked(delta int, reason string) {
 			j.broker.sched.release(j.Tenant, granted-i)
 			return
 		}
-		inst, err := classiccloud.StartInstance(j.broker.cfg.Env, j.ccCfg, j.exec,
+		inst, err := classiccloud.StartInstance(j.env, j.ccCfg, j.exec,
 			j.broker.cfg.WorkersPerInstance)
 		if err != nil {
 			// Compensate the journaled launch so the ledger stays
@@ -283,6 +303,7 @@ func (j *Job) scaleUpLocked(delta int, reason string) {
 			return
 		}
 		j.insts[id] = inst
+		j.broker.met.scaledUp()
 	}
 }
 
@@ -308,6 +329,7 @@ func (j *Job) scaleDownToLocked(n int, reason string) {
 		_ = j.jl.append(ev)
 		_ = j.core.apply(ev)
 		j.broker.sched.release(j.Tenant, 1)
+		j.broker.met.scaledDown()
 		if inst := j.insts[le.ID]; inst != nil {
 			j.stopWG.Add(1)
 			go func() {
@@ -357,6 +379,7 @@ func (j *Job) Preempt() bool {
 		j.stopWG.Add(1)
 	}
 	j.mu.Unlock()
+	j.broker.met.preempted()
 	j.broker.sched.release(j.Tenant, 1)
 	if inst != nil {
 		go func() {
@@ -481,6 +504,9 @@ type Status struct {
 	Elapsed      string   `json:"elapsed"`
 	// Adoptions counts broker restarts that re-adopted this job.
 	Adoptions int `json:"adoptions,omitempty"`
+	// Trace is the job's request-trace ID; grep daemon logs for it to
+	// follow the job's queue traffic across router and shards.
+	Trace string `json:"trace,omitempty"`
 	// PlannedInstances and PlanMeetsTarget report the cost-aware
 	// selection when a target makespan was requested.
 	PlannedInstances int  `json:"planned_instances,omitempty"`
@@ -508,6 +534,7 @@ func (j *Job) Status() Status {
 		Fleet:            j.core.fleetSize(),
 		Elapsed:          elapsed.Round(time.Millisecond).String(),
 		Adoptions:        j.core.Adoptions,
+		Trace:            j.trace,
 		PlannedInstances: j.core.PlannedInstances,
 		PlanMeetsTarget:  j.core.PlanMeetsTarget,
 	}
@@ -612,7 +639,7 @@ func (j *Job) CostReport() CostReport {
 	fixedBill := cloud.ComputeBill(j.itype, j.policy.MaxInstances, elapsed)
 	// Bill only this job's queues: the service-wide counter would
 	// cross-charge concurrent jobs' traffic.
-	svc := j.broker.cfg.Env.Queue
+	svc := j.env.Queue
 	queueReq := svc.APIRequestsFor(j.ccCfg.TaskQueue()) +
 		svc.APIRequestsFor(j.ccCfg.MonitorQueue()) +
 		svc.APIRequestsFor(j.ccCfg.DeadLetterQueue)

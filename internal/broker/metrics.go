@@ -1,0 +1,107 @@
+package broker
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// brokerMetrics holds the broker's instruments. All methods are safe on
+// a nil receiver, so an uninstrumented broker (Config.Metrics == nil)
+// pays nothing on its hot paths.
+type brokerMetrics struct {
+	// taskService is the per-task service-time histogram. The durations
+	// are measured AT THE WORKER (wall clock around the executor, shipped
+	// in the monitor report), so the histogram reflects compute time, not
+	// queue latency or broker drain lag.
+	taskService *telemetry.Histogram
+	tasksDone   *telemetry.Counter
+	tasksDead   *telemetry.Counter
+	scaleUps    *telemetry.Counter
+	scaleDowns  *telemetry.Counter
+	preempts    *telemetry.Counter
+	decisions   map[string]*telemetry.Counter // autoscale verdicts: up, down, hold
+}
+
+// newBrokerMetrics registers the broker's instruments on reg, including
+// gauge functions over live broker state (fleet size, running jobs).
+// Returns nil when reg is nil.
+func newBrokerMetrics(b *Broker, reg *telemetry.Registry) *brokerMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &brokerMetrics{
+		taskService: reg.Histogram("broker_task_service_ns"),
+		tasksDone:   reg.Counter("broker_tasks_done"),
+		tasksDead:   reg.Counter("broker_tasks_dead"),
+		scaleUps:    reg.Counter("broker_scale_ups"),
+		scaleDowns:  reg.Counter("broker_scale_downs"),
+		preempts:    reg.Counter("broker_preemptions"),
+		decisions:   make(map[string]*telemetry.Counter, 3),
+	}
+	for _, verdict := range []string{"up", "down", "hold"} {
+		m.decisions[verdict] = reg.Counter(telemetry.Label("broker_autoscale_decisions", "verdict", verdict))
+	}
+	reg.GaugeFunc("broker_fleet", func() int64 { return int64(b.FleetSize()) })
+	reg.GaugeFunc("broker_jobs_running", b.runningJobs)
+	return m
+}
+
+// settled records one checkpointed settlement batch: done/dead counts
+// plus the worker-reported service times of the newly done tasks. Called
+// only after the checkpoint is journaled, so a failed checkpoint (whose
+// reports redeliver) is never double-observed.
+func (m *brokerMetrics) settled(done, dead int, serviceTimes []time.Duration) {
+	if m == nil {
+		return
+	}
+	m.tasksDone.Add(int64(done))
+	m.tasksDead.Add(int64(dead))
+	for _, d := range serviceTimes {
+		m.taskService.Observe(d)
+	}
+}
+
+// decision counts one autoscale policy verdict.
+func (m *brokerMetrics) decision(verdict string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.decisions[verdict]; ok {
+		c.Inc()
+	}
+}
+
+func (m *brokerMetrics) scaledUp() {
+	if m == nil {
+		return
+	}
+	m.scaleUps.Inc()
+}
+
+func (m *brokerMetrics) scaledDown() {
+	if m == nil {
+		return
+	}
+	m.scaleDowns.Inc()
+}
+
+func (m *brokerMetrics) preempted() {
+	if m == nil {
+		return
+	}
+	m.preempts.Inc()
+}
+
+// runningJobs counts jobs currently in StateRunning (gauge-func source).
+func (b *Broker) runningJobs() int64 {
+	var n int64
+	for _, j := range b.Jobs() {
+		j.mu.Lock()
+		if j.core.State == StateRunning {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}

@@ -144,14 +144,40 @@ func (c Config) TaskQueue() string { return c.taskQueue() }
 // MonitorQueue returns the job's monitoring queue name.
 func (c Config) MonitorQueue() string { return c.monitorQueue() }
 
+// MonitorReport is one decoded monitoring-queue report.
+type MonitorReport struct {
+	TaskID   string
+	WorkerID int
+	Status   string // StatusDone or StatusDead
+	// ServiceTime is the worker-measured duration of the task pipeline
+	// (download → execute → upload), the per-task service time the
+	// paper's variability analysis distributes. Zero for dead-letter
+	// reports and for reports written before the field existed.
+	ServiceTime time.Duration
+}
+
+// ParseMonitorReport decodes one monitoring-queue report.
+func ParseMonitorReport(body []byte) (MonitorReport, error) {
+	var mm monitorMsg
+	if err := json.Unmarshal(body, &mm); err != nil {
+		return MonitorReport{}, fmt.Errorf("classiccloud: bad monitor message: %w", err)
+	}
+	return MonitorReport{
+		TaskID:      mm.TaskID,
+		WorkerID:    mm.WorkerID,
+		Status:      mm.Status,
+		ServiceTime: time.Duration(mm.ServiceNS),
+	}, nil
+}
+
 // ParseMonitorMessage decodes one monitoring-queue report into its
 // terminal status (StatusDone or StatusDead) and task ID.
 func ParseMonitorMessage(body []byte) (status, taskID string, err error) {
-	var mm monitorMsg
-	if err := json.Unmarshal(body, &mm); err != nil {
-		return "", "", fmt.Errorf("classiccloud: bad monitor message: %w", err)
+	r, err := ParseMonitorReport(body)
+	if err != nil {
+		return "", "", err
 	}
-	return mm.Status, mm.TaskID, nil
+	return r.Status, r.TaskID, nil
 }
 
 // InputBucket returns the job's input bucket name.
@@ -173,6 +199,9 @@ type monitorMsg struct {
 	TaskID   string `json:"task_id"`
 	WorkerID int    `json:"worker_id"`
 	Status   string `json:"status"` // StatusDone or StatusDead
+	// ServiceNS is the task's measured pipeline duration in nanoseconds
+	// (done reports only).
+	ServiceNS int64 `json:"service_ns,omitempty"`
 }
 
 // Client drives a Classic Cloud job: setup, submission, and completion
@@ -541,9 +570,13 @@ func (inst *Instance) processBatch(workerID int, msgs []queue.Message) {
 			renew.remove(m.ReceiptHandle)
 			continue
 		}
+		taskStart := time.Now()
 		if inst.processTask(workerID, task) {
 			ackReceipts = append(ackReceipts, m.ReceiptHandle)
-			mm, _ := json.Marshal(monitorMsg{TaskID: task.ID, WorkerID: workerID, Status: StatusDone})
+			mm, _ := json.Marshal(monitorMsg{
+				TaskID: task.ID, WorkerID: workerID, Status: StatusDone,
+				ServiceNS: int64(time.Since(taskStart)),
+			})
 			reports = append(reports, mm)
 		} else {
 			// The task was not acknowledged (failure, crash injection, or

@@ -7,11 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // HTTPHandler exposes a Service through an SQS-shaped REST interface —
@@ -55,6 +59,32 @@ type HTTPHandler struct {
 	// the endpoint disabled (always 403) — the privileged surface must
 	// be opted into, never open by default.
 	AdminToken string
+	// AdminTokens extends AdminToken with further accepted tokens, the
+	// rotation mechanism: provision old+new everywhere, switch clients
+	// to the new one, then drop the old — no fleet-wide restart window
+	// in which transfers 403. Order does not matter for acceptance;
+	// clients present exactly one token (by convention the newest).
+	AdminTokens []string
+
+	// Every request is tagged with a trace ID: the telemetry.TraceHeader
+	// request header when present (propagated from an upstream hop), a
+	// freshly generated one otherwise. The ID is echoed on the response
+	// and handed to the Service when it implements TraceScoper, so a
+	// sharded front forwards it to the owning shard.
+
+	// SlowRequest, when > 0, logs any request slower than it, keyed by
+	// trace ID — the "why was this call slow" breadcrumb that works
+	// across hops because every hop logs the same ID.
+	SlowRequest time.Duration
+	// Logger receives slow-request lines; nil uses the process default.
+	Logger *log.Logger
+	// Metrics, when set, records whole-request HTTP latency
+	// (queue_http_ns) including JSON marshalling — the server-side view
+	// a remote client actually experiences.
+	Metrics *telemetry.Registry
+
+	metOnce sync.Once
+	httpNS  *telemetry.Histogram
 }
 
 // wireMessage is the receive-response body.
@@ -65,14 +95,52 @@ type wireMessage struct {
 	Receives int    `json:"receives"`
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: it resolves the request's trace
+// ID, echoes it, times the request, and dispatches through a view of
+// the handler whose Service is trace-scoped when the backend supports
+// it (shard.Router, nested HTTPClient) — that is how the ID survives
+// the client → router → shard chain.
 func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	trace := r.Header.Get(telemetry.TraceHeader)
+	if trace == "" {
+		trace = telemetry.NewTraceID()
+	}
+	w.Header().Set(telemetry.TraceHeader, trace)
+	var start time.Time
+	if h.SlowRequest > 0 || h.Metrics != nil {
+		start = time.Now()
+	}
+	svc := h.Service
+	if ts, ok := svc.(TraceScoper); ok {
+		svc = ts.WithTrace(trace)
+	}
+	h.dispatch(w, r, svc)
+	if start.IsZero() {
+		return
+	}
+	elapsed := time.Since(start)
+	if h.Metrics != nil {
+		h.metOnce.Do(func() { h.httpNS = h.Metrics.Histogram("queue_http_ns") })
+		h.httpNS.Observe(elapsed)
+	}
+	if h.SlowRequest > 0 && elapsed >= h.SlowRequest {
+		logger := h.Logger
+		if logger == nil {
+			logger = log.Default()
+		}
+		logger.Printf("queue: slow request trace=%s %s %s %v", trace, r.Method, r.URL.Path, elapsed)
+	}
+}
+
+// dispatch routes one request; svc is the (possibly trace-scoped) view
+// of h.Service every operation goes through.
+func (h *HTTPHandler) dispatch(w http.ResponseWriter, r *http.Request, svc API) {
 	if r.URL.Path == "/requests" {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, map[string]int64{"requests": h.Service.APIRequests()})
+		writeJSON(w, map[string]int64{"requests": svc.APIRequests()})
 		return
 	}
 	if r.URL.Path == "/q" || r.URL.Path == "/q/" {
@@ -80,7 +148,7 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, map[string][]string{"queues": h.Service.ListQueues()})
+		writeJSON(w, map[string][]string{"queues": svc.ListQueues()})
 		return
 	}
 	// Parse the escaped path: a queue name containing '/' (a placement
@@ -107,42 +175,42 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case len(parts) == 1:
-		h.serveQueue(w, r, name)
+		h.serveQueue(w, r, svc, name)
 	case parts[1] == "count" && len(parts) == 2:
-		h.serveCount(w, r, name)
+		h.serveCount(w, r, svc, name)
 	case parts[1] == "requests" && len(parts) == 2:
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, map[string]int64{"requests": h.Service.APIRequestsFor(name)})
+		writeJSON(w, map[string]int64{"requests": svc.APIRequestsFor(name)})
 	case parts[1] == "purge" && len(parts) == 2:
-		h.servePurge(w, r, name)
+		h.servePurge(w, r, svc, name)
 	case parts[1] == "transfer" && len(parts) == 2:
-		h.serveTransfer(w, r, name)
+		h.serveTransfer(w, r, svc, name)
 	case parts[1] == "messages" && len(parts) == 2:
-		h.serveMessages(w, r, name)
+		h.serveMessages(w, r, svc, name)
 	case parts[1] == "messages" && len(parts) == 3 && parts[2] == "batch":
-		h.serveSendBatch(w, r, name)
+		h.serveSendBatch(w, r, svc, name)
 	case parts[1] == "messages" && len(parts) == 3 && parts[2] == "batchdelete":
-		h.serveDeleteBatch(w, r, name)
+		h.serveDeleteBatch(w, r, svc, name)
 	case parts[1] == "messages" && len(parts) == 3:
 		if receipt, ok := unescapeReceipt(parts[2]); ok {
-			h.serveReceipt(w, r, name, receipt)
+			h.serveReceipt(w, r, svc, name, receipt)
 		}
 	case parts[1] == "messages" && len(parts) == 4 && parts[3] == "visibility":
 		if receipt, ok := unescapeReceipt(parts[2]); ok {
-			h.serveVisibility(w, r, name, receipt)
+			h.serveVisibility(w, r, svc, name, receipt)
 		}
 	default:
 		http.NotFound(w, r)
 	}
 }
 
-func (h *HTTPHandler) serveQueue(w http.ResponseWriter, r *http.Request, name string) {
+func (h *HTTPHandler) serveQueue(w http.ResponseWriter, r *http.Request, svc API, name string) {
 	switch r.Method {
 	case http.MethodPut:
-		err := h.Service.CreateQueue(name)
+		err := svc.CreateQueue(name)
 		if errors.Is(err, ErrQueueExists) {
 			w.WriteHeader(http.StatusOK)
 			return
@@ -153,7 +221,7 @@ func (h *HTTPHandler) serveQueue(w http.ResponseWriter, r *http.Request, name st
 		}
 		w.WriteHeader(http.StatusCreated)
 	case http.MethodDelete:
-		if err := h.Service.DeleteQueue(name); err != nil {
+		if err := svc.DeleteQueue(name); err != nil {
 			writeQueueError(w, err)
 			return
 		}
@@ -163,12 +231,12 @@ func (h *HTTPHandler) serveQueue(w http.ResponseWriter, r *http.Request, name st
 	}
 }
 
-func (h *HTTPHandler) serveCount(w http.ResponseWriter, r *http.Request, name string) {
+func (h *HTTPHandler) serveCount(w http.ResponseWriter, r *http.Request, svc API, name string) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	visible, inflight, err := h.Service.ApproximateCount(name)
+	visible, inflight, err := svc.ApproximateCount(name)
 	if err != nil {
 		writeQueueError(w, err)
 		return
@@ -177,12 +245,12 @@ func (h *HTTPHandler) serveCount(w http.ResponseWriter, r *http.Request, name st
 }
 
 // servePurge drops every message in the queue.
-func (h *HTTPHandler) servePurge(w http.ResponseWriter, r *http.Request, name string) {
+func (h *HTTPHandler) servePurge(w http.ResponseWriter, r *http.Request, svc API, name string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if err := h.Service.Purge(name); err != nil {
+	if err := svc.Purge(name); err != nil {
 		writeQueueError(w, err)
 		return
 	}
@@ -193,21 +261,20 @@ func (h *HTTPHandler) servePurge(w http.ResponseWriter, r *http.Request, name st
 // migration machinery uses. It requires the handler's admin token; the
 // Service must implement Transferrer (every in-tree implementation
 // does).
-func (h *HTTPHandler) serveTransfer(w http.ResponseWriter, r *http.Request, name string) {
+func (h *HTTPHandler) serveTransfer(w http.ResponseWriter, r *http.Request, svc API, name string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-	if h.AdminToken == "" || !ok ||
-		subtle.ConstantTimeCompare([]byte(token), []byte(h.AdminToken)) != 1 {
+	if !ok || !h.tokenAccepted(token) {
 		// One answer for "endpoint not provisioned", "no token", and
 		// "wrong token": the caller learns only that it is not
 		// privileged, not which secret would have worked.
 		http.Error(w, ErrNotPrivileged.Error(), http.StatusForbidden)
 		return
 	}
-	tr, ok := h.Service.(Transferrer)
+	tr, ok := svc.(Transferrer)
 	if !ok {
 		http.Error(w, "queue: backend does not support transfers", http.StatusNotImplemented)
 		return
@@ -228,7 +295,26 @@ func (h *HTTPHandler) serveTransfer(w http.ResponseWriter, r *http.Request, name
 	writeJSON(w, map[string][]string{"ids": ids})
 }
 
-func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name string) {
+// tokenAccepted reports whether the presented bearer token matches any
+// provisioned admin token (AdminToken plus the AdminTokens rotation
+// list). Every candidate is compared in constant time with no early
+// exit, so timing reveals neither a match nor which entry matched. No
+// provisioned tokens means nothing is accepted.
+func (h *HTTPHandler) tokenAccepted(token string) bool {
+	match := 0
+	if h.AdminToken != "" {
+		match |= subtle.ConstantTimeCompare([]byte(token), []byte(h.AdminToken))
+	}
+	for _, t := range h.AdminTokens {
+		if t == "" {
+			continue
+		}
+		match |= subtle.ConstantTimeCompare([]byte(token), []byte(t))
+	}
+	return match == 1
+}
+
+func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, svc API, name string) {
 	switch r.Method {
 	case http.MethodPost:
 		body, err := io.ReadAll(r.Body)
@@ -236,7 +322,7 @@ func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		id, err := h.Service.SendMessage(name, body)
+		id, err := svc.SendMessage(name, body)
 		if err != nil {
 			writeQueueError(w, err)
 			return
@@ -267,7 +353,7 @@ func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name
 				http.Error(w, "queue: bad max: "+err.Error(), http.StatusBadRequest)
 				return
 			}
-			msgs, err := h.Service.ReceiveMessageBatch(name, visibility, max, wait)
+			msgs, err := svc.ReceiveMessageBatch(name, visibility, max, wait)
 			if err != nil {
 				writeQueueError(w, err)
 				return
@@ -283,7 +369,7 @@ func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name
 			writeJSON(w, map[string][]wireMessage{"messages": out})
 			return
 		}
-		m, ok, err := h.Service.ReceiveMessageWait(name, visibility, wait)
+		m, ok, err := svc.ReceiveMessageWait(name, visibility, wait)
 		if err != nil {
 			writeQueueError(w, err)
 			return
@@ -299,7 +385,7 @@ func (h *HTTPHandler) serveMessages(w http.ResponseWriter, r *http.Request, name
 }
 
 // serveSendBatch enqueues up to MaxBatch bodies as one billed request.
-func (h *HTTPHandler) serveSendBatch(w http.ResponseWriter, r *http.Request, name string) {
+func (h *HTTPHandler) serveSendBatch(w http.ResponseWriter, r *http.Request, svc API, name string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -311,7 +397,7 @@ func (h *HTTPHandler) serveSendBatch(w http.ResponseWriter, r *http.Request, nam
 		http.Error(w, "queue: bad batch body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	ids, err := h.Service.SendMessageBatch(name, in.Bodies)
+	ids, err := svc.SendMessageBatch(name, in.Bodies)
 	if err != nil {
 		writeQueueError(w, err)
 		return
@@ -323,7 +409,7 @@ func (h *HTTPHandler) serveSendBatch(w http.ResponseWriter, r *http.Request, nam
 // serveDeleteBatch acknowledges up to MaxBatch receipts as one billed
 // request. The response carries one error string per entry ("" = ok) so
 // partial failures are visible without failing the call.
-func (h *HTTPHandler) serveDeleteBatch(w http.ResponseWriter, r *http.Request, name string) {
+func (h *HTTPHandler) serveDeleteBatch(w http.ResponseWriter, r *http.Request, svc API, name string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -335,7 +421,7 @@ func (h *HTTPHandler) serveDeleteBatch(w http.ResponseWriter, r *http.Request, n
 		http.Error(w, "queue: bad batch body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	results, err := h.Service.DeleteMessageBatch(name, in.Receipts)
+	results, err := svc.DeleteMessageBatch(name, in.Receipts)
 	if err != nil {
 		writeQueueError(w, err)
 		return
@@ -359,19 +445,19 @@ func (h *HTTPHandler) serveDeleteBatch(w http.ResponseWriter, r *http.Request, n
 // delete responses.
 const staleReceiptCode = "stale"
 
-func (h *HTTPHandler) serveReceipt(w http.ResponseWriter, r *http.Request, name, receipt string) {
+func (h *HTTPHandler) serveReceipt(w http.ResponseWriter, r *http.Request, svc API, name, receipt string) {
 	if r.Method != http.MethodDelete {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if err := h.Service.DeleteMessage(name, receipt); err != nil {
+	if err := svc.DeleteMessage(name, receipt); err != nil {
 		writeQueueError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (h *HTTPHandler) serveVisibility(w http.ResponseWriter, r *http.Request, name, receipt string) {
+func (h *HTTPHandler) serveVisibility(w http.ResponseWriter, r *http.Request, svc API, name, receipt string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -381,7 +467,7 @@ func (h *HTTPHandler) serveVisibility(w http.ResponseWriter, r *http.Request, na
 		http.Error(w, "queue: bad duration: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := h.Service.ChangeVisibility(name, receipt, d); err != nil {
+	if err := svc.ChangeVisibility(name, receipt, d); err != nil {
 		writeQueueError(w, err)
 		return
 	}
@@ -416,20 +502,65 @@ type HTTPClient struct {
 	// AdminToken authorizes the privileged transfer endpoint. Leave
 	// empty for a purely public client: TransferIn then fails with
 	// ErrNotPrivileged (and the shard migrator falls back to a public
-	// re-send).
+	// re-send). When the server rotates tokens (HTTPHandler.AdminTokens)
+	// the client presents exactly one — by convention the newest.
 	AdminToken string
+	// TraceID, when set, is injected as the telemetry.TraceHeader on
+	// every request, tying this client's traffic to one trace across
+	// hops. Use WithTrace for a per-request/per-job scoped view.
+	TraceID string
 }
 
 var (
 	_ API         = (*HTTPClient)(nil)
 	_ Transferrer = (*HTTPClient)(nil)
+	_ TraceScoper = (*HTTPClient)(nil)
 )
+
+// WithTrace returns a view of the client whose requests carry traceID.
+// The copy shares the underlying http.Client (and its connection pool);
+// it is cheap enough to create per request.
+func (c *HTTPClient) WithTrace(traceID string) API {
+	scoped := *c
+	scoped.TraceID = traceID
+	return &scoped
+}
 
 func (c *HTTPClient) httpClient() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
 	return http.DefaultClient
+}
+
+// do sends a request, stamping the trace header first. Every outgoing
+// request of the client funnels through here so no hop drops the ID.
+func (c *HTTPClient) do(req *http.Request) (*http.Response, error) {
+	if c.TraceID != "" {
+		req.Header.Set(telemetry.TraceHeader, c.TraceID)
+	}
+	return c.httpClient().Do(req)
+}
+
+// get is http.Client.Get through do.
+func (c *HTTPClient) get(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+// post is http.Client.Post through do.
+func (c *HTTPClient) post(url, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.do(req)
 }
 
 // qURL builds the base URL of one queue, path-escaping the name so a
@@ -459,7 +590,7 @@ func (c *HTTPClient) CreateQueue(name string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -476,7 +607,7 @@ func (c *HTTPClient) DeleteQueue(name string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -490,7 +621,7 @@ func (c *HTTPClient) DeleteQueue(name string) error {
 // ListQueues returns the queue names, or nil when the request fails
 // (the interface carries no error return, matching Service).
 func (c *HTTPClient) ListQueues() []string {
-	resp, err := c.httpClient().Get(c.BaseURL + "/q")
+	resp, err := c.get(c.BaseURL + "/q")
 	if err != nil {
 		return nil
 	}
@@ -509,7 +640,7 @@ func (c *HTTPClient) ListQueues() []string {
 
 // ApproximateCount reports visible and in-flight message counts.
 func (c *HTTPClient) ApproximateCount(name string) (visible, inflight int, err error) {
-	resp, err := c.httpClient().Get(c.qURL(name) + "/count")
+	resp, err := c.get(c.qURL(name) + "/count")
 	if err != nil {
 		return 0, 0, err
 	}
@@ -529,7 +660,7 @@ func (c *HTTPClient) ApproximateCount(name string) (visible, inflight int, err e
 
 // Purge removes every message from a queue.
 func (c *HTTPClient) Purge(name string) error {
-	resp, err := c.httpClient().Post(c.qURL(name)+"/purge", "", nil)
+	resp, err := c.post(c.qURL(name)+"/purge", "", nil)
 	if err != nil {
 		return err
 	}
@@ -542,7 +673,7 @@ func (c *HTTPClient) Purge(name string) error {
 
 // ChangeVisibility extends or shrinks an in-flight message's lease.
 func (c *HTTPClient) ChangeVisibility(name, receipt string, d time.Duration) error {
-	resp, err := c.httpClient().Post(
+	resp, err := c.post(
 		c.qURL(name)+"/messages/"+url.PathEscape(receipt)+"/visibility?d="+url.QueryEscape(d.String()), "", nil)
 	if err != nil {
 		return err
@@ -557,7 +688,7 @@ func (c *HTTPClient) ChangeVisibility(name, receipt string, d time.Duration) err
 // requests reads a billed-request counter endpoint, 0 on any failure
 // (the interface carries no error return, matching Service).
 func (c *HTTPClient) requests(path string) int64 {
-	resp, err := c.httpClient().Get(c.BaseURL + path)
+	resp, err := c.get(c.BaseURL + path)
 	if err != nil {
 		return 0
 	}
@@ -584,7 +715,7 @@ func (c *HTTPClient) APIRequestsFor(name string) int64 {
 
 // Send enqueues a message and returns its id.
 func (c *HTTPClient) Send(name string, body []byte) (string, error) {
-	resp, err := c.httpClient().Post(c.qURL(name)+"/messages", "application/octet-stream",
+	resp, err := c.post(c.qURL(name)+"/messages", "application/octet-stream",
 		strings.NewReader(string(body)))
 	if err != nil {
 		return "", err
@@ -618,7 +749,7 @@ func (c *HTTPClient) ReceiveWait(name string, visibility, wait time.Duration) (M
 	if enc := q.Encode(); enc != "" {
 		url += "?" + enc
 	}
-	resp, err := c.httpClient().Get(url)
+	resp, err := c.get(url)
 	if err != nil {
 		return Message{}, false, err
 	}
@@ -648,7 +779,7 @@ func (c *HTTPClient) ReceiveBatch(name string, visibility time.Duration, max int
 	if wait > 0 {
 		q.Set("wait", wait.String())
 	}
-	resp, err := c.httpClient().Get(c.qURL(name) + "/messages?" + q.Encode())
+	resp, err := c.get(c.qURL(name) + "/messages?" + q.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -679,7 +810,7 @@ func (c *HTTPClient) SendBatch(name string, bodies [][]byte) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Post(c.qURL(name)+"/messages/batch",
+	resp, err := c.post(c.qURL(name)+"/messages/batch",
 		"application/json", bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
@@ -734,7 +865,7 @@ func (c *HTTPClient) TransferInBatch(name string, items []TransferItem) ([]strin
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Authorization", "Bearer "+c.AdminToken)
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -758,7 +889,7 @@ func (c *HTTPClient) DeleteBatch(name string, receipts []string) ([]error, error
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Post(c.qURL(name)+"/messages/batchdelete",
+	resp, err := c.post(c.qURL(name)+"/messages/batchdelete",
 		"application/json", bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
@@ -792,7 +923,7 @@ func (c *HTTPClient) Delete(name, receipt string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}

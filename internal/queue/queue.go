@@ -49,6 +49,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Clock abstracts time so tests can drive visibility timeouts without
@@ -153,6 +155,16 @@ type Config struct {
 	// ServiceConcurrency is the number of simulated request processors
 	// when ServiceTime > 0 (default 8).
 	ServiceConcurrency int
+	// Metrics, when set, makes the service self-measuring: per-op
+	// latency histograms (queue_op_ns), per-queue request rates
+	// (queue_requests), and backlog-depth gauges (queue_backlog_*) are
+	// registered there. Nil (the default) keeps the hot path free of
+	// clock reads — instrumentation costs nothing unless wired.
+	Metrics *telemetry.Registry
+	// MetricsName labels this service's series (svc="name") so several
+	// services sharing one registry — e.g. the local shards of a router —
+	// stay distinguishable. Empty omits the label.
+	MetricsName string
 }
 
 func (c Config) withDefaults() Config {
@@ -221,6 +233,79 @@ type Service struct {
 	// requests of cfg.ServiceTime each; nil when the capacity simulation
 	// is off.
 	slots chan struct{}
+	// met holds this service's telemetry instruments; nil when
+	// cfg.Metrics is unset, and every instrumentation site checks that
+	// first so the uninstrumented path pays one branch, not a clock read.
+	met *serviceMetrics
+}
+
+// serviceOps is the set of message-path operations that get their own
+// latency histogram. Receive latency includes any long-poll wait the
+// caller asked for — a blocked poll is real request latency from the
+// service's point of view.
+var serviceOps = []string{
+	"send", "send_batch", "receive", "delete", "delete_batch",
+	"change_visibility", "transfer", "count", "purge",
+}
+
+// serviceMetrics is a Service's instrument set, created once at
+// NewService so the request path never touches the registry lock.
+type serviceMetrics struct {
+	reg  *telemetry.Registry
+	name string // svc label, may be empty
+	ops  map[string]*telemetry.Histogram
+	// rates caches per-queue request-rate instruments (name → *Rate),
+	// mirroring RequestCounter's per-queue index.
+	rates sync.Map
+}
+
+func newServiceMetrics(reg *telemetry.Registry, svc string) *serviceMetrics {
+	m := &serviceMetrics{reg: reg, name: svc, ops: make(map[string]*telemetry.Histogram, len(serviceOps))}
+	for _, op := range serviceOps {
+		m.ops[op] = reg.Histogram(m.series("queue_op_ns", "op", op))
+	}
+	return m
+}
+
+// series builds an instrument name, folding in the svc label when set.
+func (m *serviceMetrics) series(base, key, value string) string {
+	if m.name != "" {
+		if key == "" {
+			return fmt.Sprintf("%s{svc=%q}", base, m.name)
+		}
+		return fmt.Sprintf("%s{svc=%q,%s=%q}", base, m.name, key, value)
+	}
+	if key == "" {
+		return base
+	}
+	return telemetry.Label(base, key, value)
+}
+
+// markQueue bumps the per-queue request rate.
+func (m *serviceMetrics) markQueue(queueName string) {
+	v, ok := m.rates.Load(queueName)
+	if !ok {
+		v, _ = m.rates.LoadOrStore(queueName, m.reg.Rate(m.series("queue_requests", "queue", queueName)))
+	}
+	v.(*telemetry.Rate).Mark(1)
+}
+
+// opStart stamps the beginning of an instrumented operation; the zero
+// time when the service is uninstrumented.
+func (s *Service) opStart() time.Time {
+	if s.met == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// opDone records one operation's latency (paired with opStart, usually
+// via defer so the args are stamped on entry).
+func (s *Service) opDone(op string, start time.Time) {
+	if s.met == nil {
+		return
+	}
+	s.met.ops[op].Observe(time.Since(start))
 }
 
 // message is the stored form of one queued item. A live message is in
@@ -331,6 +416,29 @@ type API interface {
 	APIRequestsFor(queueName string) int64
 }
 
+// TraceScoper is optionally implemented by API implementations that can
+// bind a request/trace ID to their outgoing traffic: HTTPClient injects
+// it as the telemetry.TraceHeader on every request, and shard.Router
+// threads it through to whichever backend serves the call. WithTrace
+// returns a scoped view sharing all state with the receiver — the
+// original keeps working untraced, and scoped views are cheap enough to
+// create per job or per request. The in-process Service is a terminal
+// hop and does not implement it.
+type TraceScoper interface {
+	WithTrace(traceID string) API
+}
+
+// DepthReporter is an optional unbilled diagnostic surface: one queue's
+// live depth, read without counting as an API request and without
+// mutating delivery state. Stats scrapers prefer it over
+// ApproximateCount so observing a backlog does not inflate the billing
+// reported next to it; implementations with no unbilled path (a remote
+// HTTPClient, where the probe is a real request) simply don't
+// implement it.
+type DepthReporter interface {
+	QueueDepth(queueName string) (visible, inflight int, err error)
+}
+
 // TransferItem is one message moved by the privileged transfer API:
 // its body plus the delivery count it had already accumulated on its
 // source queue. Receives counts deliveries so far — a transferred
@@ -361,8 +469,9 @@ type Transferrer interface {
 }
 
 var (
-	_ API         = (*Service)(nil)
-	_ Transferrer = (*Service)(nil)
+	_ API           = (*Service)(nil)
+	_ Transferrer   = (*Service)(nil)
+	_ DepthReporter = (*Service)(nil)
 )
 
 // NewService creates a queue service.
@@ -374,7 +483,53 @@ func NewService(cfg Config) *Service {
 	if s.cfg.ServiceTime > 0 {
 		s.slots = make(chan struct{}, s.cfg.ServiceConcurrency)
 	}
+	if s.cfg.Metrics != nil {
+		s.met = newServiceMetrics(s.cfg.Metrics, s.cfg.MetricsName)
+		s.cfg.Metrics.GaugeFunc(s.met.series("queue_backlog_visible", "", ""), func() int64 {
+			v, _ := s.backlog()
+			return v
+		})
+		s.cfg.Metrics.GaugeFunc(s.met.series("queue_backlog_inflight", "", ""), func() int64 {
+			_, i := s.backlog()
+			return i
+		})
+	}
 	return s
+}
+
+// backlog sums visible and in-flight messages across every queue — the
+// live depth gauges. It reads the maintained structure sizes without
+// releasing expired leases (that would make a metrics scrape mutate
+// delivery state), so a long-idle queue may report in-flight messages
+// whose leases have lapsed.
+func (s *Service) backlog() (visible, inflight int64) {
+	s.mu.RLock()
+	queues := make([]*queueState, 0, len(s.queues))
+	for _, q := range s.queues {
+		queues = append(queues, q)
+	}
+	s.mu.RUnlock()
+	for _, q := range queues {
+		q.mu.Lock()
+		visible += int64(q.visible.Len())
+		inflight += int64(q.inflight.Len())
+		q.mu.Unlock()
+	}
+	return visible, inflight
+}
+
+// QueueDepth reports one queue's live depth (DepthReporter): the
+// maintained structure sizes, unbilled and without releasing expired
+// leases — see backlog for why a scrape must not mutate delivery state.
+func (s *Service) QueueDepth(queueName string) (visible, inflight int, err error) {
+	q, err := s.getQueue(queueName)
+	if err != nil {
+		return 0, 0, err
+	}
+	q.mu.Lock()
+	visible, inflight = q.visible.Len(), q.inflight.Len()
+	q.mu.Unlock()
+	return visible, inflight, nil
 }
 
 // APIRequests returns the total number of billed API calls so far.
@@ -394,6 +549,9 @@ func (s *Service) APIRequestsFor(queueName string) int64 {
 // rather than on its state.
 func (s *Service) count(queueName string) {
 	s.billing.Count(queueName)
+	if s.met != nil {
+		s.met.markQueue(queueName)
+	}
 	if s.slots != nil {
 		s.slots <- struct{}{}
 		time.Sleep(s.cfg.ServiceTime)
@@ -478,6 +636,7 @@ func (s *Service) ListQueues() []string {
 // SendMessage enqueues a message body. The body is copied once here;
 // receivers are handed the stored copy and must not mutate it.
 func (s *Service) SendMessage(queueName string, body []byte) (string, error) {
+	defer s.opDone("send", s.opStart())
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -497,6 +656,7 @@ func (s *Service) SendMessageBatch(queueName string, bodies [][]byte) ([]string,
 	if len(bodies) == 0 || len(bodies) > MaxBatch {
 		return nil, ErrBatchSize
 	}
+	defer s.opDone("send_batch", s.opStart())
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -536,6 +696,7 @@ func (s *Service) TransferInBatch(queueName string, items []TransferItem) ([]str
 			return nil, fmt.Errorf("%w: %d", ErrBadTransfer, it.Receives)
 		}
 	}
+	defer s.opDone("transfer", s.opStart())
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -662,6 +823,7 @@ func (s *Service) ReceiveMessageBatch(queueName string, visibility time.Duration
 // receiveBatchWait is the shared receive core: one billed request, up to
 // max messages, blocking up to wait for the first one.
 func (s *Service) receiveBatchWait(queueName string, visibility time.Duration, max int, wait time.Duration) ([]Message, error) {
+	defer s.opDone("receive", s.opStart())
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -740,6 +902,7 @@ func (s *Service) receiveBatchWait(queueName string, visibility time.Duration, m
 // is authoritative. The message is removed from every index immediately,
 // so deleted messages occupy no memory and slow no later operation.
 func (s *Service) DeleteMessage(queueName, receiptHandle string) error {
+	defer s.opDone("delete", s.opStart())
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -758,6 +921,7 @@ func (s *Service) DeleteMessageBatch(queueName string, receipts []string) ([]err
 	if len(receipts) == 0 || len(receipts) > MaxBatch {
 		return nil, ErrBatchSize
 	}
+	defer s.opDone("delete_batch", s.opStart())
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -792,6 +956,7 @@ func (q *queueState) deleteLocked(receiptHandle string) error {
 // message (SQS ChangeMessageVisibility), used by long-running workers to
 // keep ownership of a task. O(log n) by receipt handle.
 func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Duration) error {
+	defer s.opDone("change_visibility", s.opStart())
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -836,6 +1001,7 @@ func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Durat
 // sizes are read after releasing newly expired leases, with no scan over
 // the message history.
 func (s *Service) ApproximateCount(queueName string) (visible, inflight int, err error) {
+	defer s.opDone("count", s.opStart())
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -849,6 +1015,7 @@ func (s *Service) ApproximateCount(queueName string) (visible, inflight int, err
 
 // Purge removes every message from a queue.
 func (s *Service) Purge(queueName string) error {
+	defer s.opDone("purge", s.opStart())
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {

@@ -164,6 +164,61 @@ func (r *Router) Regroup(queueName, group string) error {
 	return r.migrate(pendingMove{name: queueName, rt: rt, from: cur, to: owner})
 }
 
+// RegroupPrefix assigns every queue whose name starts with prefix to
+// the placement group in one topology-serialized sweep, then migrates
+// the queues whose new group key lands them on a different ring owner.
+// It is the bulk form of Regroup: one topoMu hold covers the whole
+// sweep, so no Rebalance or topology change can interleave between two
+// of the prefix's queues and observe the group half-applied. Returns
+// how many queues matched the prefix; migrations that fail leave their
+// queue routed to its old shard (fully usable, converging on the next
+// Rebalance), with the errors joined.
+//
+// The prefix must be non-empty: regrouping the entire namespace is
+// almost certainly an operator mistyping, and an explicit per-queue
+// Regroup loop is the honest way to spell it.
+//
+// An empty group reverts matched queues to their name-derived keys.
+func (r *Router) RegroupPrefix(prefix, group string) (int, error) {
+	if prefix == "" {
+		return 0, errors.New("shard: regroup prefix must be non-empty")
+	}
+	if strings.Contains(group, groupSep) {
+		return 0, fmt.Errorf("%w: %q", ErrBadGroup, group)
+	}
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	matched := 0
+	var moves []pendingMove
+	r.mu.Lock()
+	for name, rt := range r.routes {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rt.mu.Lock()
+		if rt.dead {
+			rt.mu.Unlock()
+			continue
+		}
+		rt.group = group
+		cur := rt.shard
+		rt.mu.Unlock()
+		matched++
+		owner, ok := r.ring.owner(effectiveGroup(group, name))
+		if !ok {
+			// Unreachable while routes exist (the last owning shard
+			// cannot be removed), but don't migrate on a broken ring.
+			continue
+		}
+		if owner != cur {
+			moves = append(moves, pendingMove{name: name, rt: rt, from: cur, to: owner})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(moves, func(i, j int) bool { return moves[i].name < moves[j].name })
+	return matched, r.runMoves(moves)
+}
+
 // migrate moves one queue: freeze, stream the visible backlog to the
 // new owner, switch the route, thaw, and leave a forwarder watching the
 // old shard for in-flight messages that expire back into visibility.
@@ -411,7 +466,7 @@ func (r *Router) forwardVisible(name string, fromB queue.API) {
 		for i, msg := range msgs {
 			receipts[i] = msg.ReceiptHandle
 		}
-		_, ownerB, err := r.ownerBackend(name)
+		_, ownerB, err := r.ownerBackend("", name)
 		if err != nil {
 			return // queue deleted while forwarding
 		}

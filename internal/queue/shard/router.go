@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/queue"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by the router itself; data-plane calls return the
@@ -87,6 +88,11 @@ type Config struct {
 	// old queue is left in place so outstanding receipts stay valid,
 	// but nothing is forwarded any more.
 	LeaseHorizon time.Duration
+	// Metrics, when set, receives the router's instruments: per-op
+	// latency histograms (router_op_ns), per-shard request rates
+	// (shard_requests) and live backlog gauges (shard_backlog). Nil
+	// leaves the data path uninstrumented — not even a clock read.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +140,84 @@ type Router struct {
 	closing   chan struct{}
 	closeOnce sync.Once
 	fwd       sync.WaitGroup
+
+	// met is non-nil iff Config.Metrics was set.
+	met *routerMetrics
+}
+
+// routerOps is the set of routed operations that get their own latency
+// histogram. The histogram brackets the whole routed call — owner
+// resolution (including any wait on a frozen route), the backend hop,
+// and retries — so a migration stall shows up as router latency even
+// when the shard itself stayed fast.
+var routerOps = []string{
+	"create_queue", "delete_queue", "send", "send_batch", "receive",
+	"delete", "delete_batch", "change_visibility", "transfer", "count",
+	"purge",
+}
+
+// routerMetrics is the router's instrument set, created once at
+// NewRouter so the request path never touches the registry lock.
+type routerMetrics struct {
+	reg *telemetry.Registry
+	ops map[string]*telemetry.Histogram
+	// shardRates caches per-shard request-rate instruments
+	// (shard id → *telemetry.Rate).
+	shardRates sync.Map
+}
+
+func (r *Router) opStart() time.Time {
+	if r.met == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (r *Router) opDone(op string, start time.Time) {
+	if r.met == nil {
+		return
+	}
+	r.met.ops[op].Observe(time.Since(start))
+}
+
+// markShard bumps a shard's request rate. Called wherever a routed call
+// resolves a backend — owner resolution, receipt routing, batch-delete
+// groups — so the rate counts backend hops, including migration retries.
+func (r *Router) markShard(id string) {
+	if r.met == nil || id == "" {
+		return
+	}
+	v, ok := r.met.shardRates.Load(id)
+	if !ok {
+		v, _ = r.met.shardRates.LoadOrStore(id, r.met.reg.Rate(telemetry.Label("shard_requests", "shard", id)))
+	}
+	v.(*telemetry.Rate).Mark(1)
+}
+
+// shardRate reads a shard's current request rate (0 when
+// uninstrumented or never addressed).
+func (r *Router) shardRate(id string) float64 {
+	if r.met == nil {
+		return 0
+	}
+	if v, ok := r.met.shardRates.Load(id); ok {
+		return v.(*telemetry.Rate).PerSecond()
+	}
+	return 0
+}
+
+// scopeTrace binds a trace ID to a backend hop when the backend can
+// carry one (queue.TraceScoper — a remote shard client injects it as
+// the X-Trace-Id header). The in-process Service is a terminal hop and
+// passes through unscoped.
+func scopeTrace(b queue.API, trace string) queue.API {
+	if trace == "" || b == nil {
+		return b
+	}
+	if ts, ok := b.(queue.TraceScoper); ok {
+		return ts.WithTrace(trace)
+	}
+	return b
 }
 
 // route is one queue's placement.
@@ -159,18 +243,35 @@ type route struct {
 var (
 	_ queue.API         = (*Router)(nil)
 	_ queue.Transferrer = (*Router)(nil)
+	_ queue.TraceScoper = (*Router)(nil)
 )
 
 // NewRouter creates an empty router; add shards before creating queues.
 func NewRouter(cfg Config) *Router {
 	c := cfg.withDefaults()
-	return &Router{
+	r := &Router{
 		cfg:     c,
 		ring:    newRing(c.VirtualNodes),
 		shards:  make(map[string]queue.API),
 		routes:  make(map[string]*route),
 		closing: make(chan struct{}),
 	}
+	if c.Metrics != nil {
+		r.met = &routerMetrics{reg: c.Metrics, ops: make(map[string]*telemetry.Histogram, len(routerOps))}
+		for _, op := range routerOps {
+			r.met.ops[op] = c.Metrics.Histogram(telemetry.Label("router_op_ns", "op", op))
+		}
+		// Backlog gauges are refreshed at scrape time rather than
+		// maintained on the data path: depth is already tracked by each
+		// shard, and a per-send gauge update would put a second write on
+		// every routed call for a number only read by scrapes.
+		c.Metrics.AddCollector(func(reg *telemetry.Registry) {
+			for id, n := range r.backlogByShard() {
+				reg.Gauge(telemetry.Label("shard_backlog", "shard", id)).Set(n)
+			}
+		})
+	}
+	return r
 }
 
 // Close stops the background straggler forwarders and waits for them.
@@ -192,8 +293,10 @@ func (r *Router) APIRequests() int64 { return r.billing.Total() }
 func (r *Router) APIRequestsFor(queueName string) int64 { return r.billing.For(queueName) }
 
 // ownerBackend resolves the queue's owning shard, waiting out any
-// in-progress migration.
-func (r *Router) ownerBackend(queueName string) (string, queue.API, error) {
+// in-progress migration. The returned backend is trace-scoped and the
+// shard's request rate is bumped — every caller represents one backend
+// hop.
+func (r *Router) ownerBackend(trace, queueName string) (string, queue.API, error) {
 	r.mu.RLock()
 	rt := r.routes[queueName]
 	r.mu.RUnlock()
@@ -211,7 +314,8 @@ func (r *Router) ownerBackend(queueName string) (string, queue.API, error) {
 			if b == nil {
 				return "", nil, queue.ErrNoSuchQueue
 			}
-			return id, b, nil
+			r.markShard(id)
+			return id, scopeTrace(b, trace), nil
 		}
 		ch := rt.frozen
 		rt.mu.Unlock()
@@ -224,9 +328,9 @@ func (r *Router) ownerBackend(queueName string) (string, queue.API, error) {
 // dispatched (a migration completed underneath it), the call retries on
 // the new owner — the sentinel lets the router tell "wrong shard" from
 // "queue deleted".
-func (r *Router) onOwner(queueName string, fn func(shardID string, b queue.API) error) error {
+func (r *Router) onOwner(trace, queueName string, fn func(shardID string, b queue.API) error) error {
 	for attempt := 0; ; attempt++ {
-		id, b, err := r.ownerBackend(queueName)
+		id, b, err := r.ownerBackend(trace, queueName)
 		if err != nil {
 			return err
 		}
@@ -234,7 +338,7 @@ func (r *Router) onOwner(queueName string, fn func(shardID string, b queue.API) 
 		if err == nil || !errors.Is(err, queue.ErrNoSuchQueue) || attempt >= 2 {
 			return err
 		}
-		newID, _, rerr := r.ownerBackend(queueName)
+		newID, _, rerr := r.ownerBackend(trace, queueName)
 		if rerr != nil || newID == id {
 			return err
 		}
@@ -247,10 +351,11 @@ func (r *Router) onOwner(queueName string, fn func(shardID string, b queue.API) 
 // instead of finding a route whose shard has no queue yet — a
 // half-created queue migrated in that window would leave an orphan
 // copy on the old owner.
-func (r *Router) CreateQueue(name string) error {
+func (r *Router) createQueue(trace, name string) error {
 	if name == "" {
 		return queue.ErrEmptyQueueName
 	}
+	defer r.opDone("create_queue", r.opStart())
 	r.count(name)
 	r.mu.Lock()
 	if _, ok := r.routes[name]; ok {
@@ -266,7 +371,8 @@ func (r *Router) CreateQueue(name string) error {
 	r.routes[name] = rt
 	b := r.shards[owner]
 	r.mu.Unlock()
-	err := b.CreateQueue(name)
+	r.markShard(owner)
+	err := scopeTrace(b, trace).CreateQueue(name)
 	if err != nil && !errors.Is(err, queue.ErrQueueExists) {
 		r.mu.Lock()
 		// Only remove our own route: a concurrent DeleteQueue may have
@@ -293,7 +399,8 @@ func (r *Router) CreateQueue(name string) error {
 
 // DeleteQueue removes a queue from its owner and from every old shard
 // still draining stragglers.
-func (r *Router) DeleteQueue(name string) error {
+func (r *Router) deleteQueue(trace, name string) error {
+	defer r.opDone("delete_queue", r.opStart())
 	r.count(name)
 	r.mu.Lock()
 	rt := r.routes[name]
@@ -335,10 +442,11 @@ func (r *Router) DeleteQueue(name string) error {
 	r.mu.RUnlock()
 	var err error
 	if b != nil {
-		err = b.DeleteQueue(name)
+		r.markShard(owner)
+		err = scopeTrace(b, trace).DeleteQueue(name)
 	}
 	for _, ob := range oldBs {
-		_ = ob.DeleteQueue(name) // forwarder may have beaten us to it
+		_ = scopeTrace(ob, trace).DeleteQueue(name) // forwarder may have beaten us to it
 	}
 	return err
 }
@@ -356,11 +464,11 @@ func (r *Router) ListQueues() []string {
 	return names
 }
 
-// SendMessage enqueues on the owning shard.
-func (r *Router) SendMessage(queueName string, body []byte) (string, error) {
+func (r *Router) sendMessage(trace, queueName string, body []byte) (string, error) {
+	defer r.opDone("send", r.opStart())
 	r.count(queueName)
 	var id string
-	err := r.onOwner(queueName, func(_ string, b queue.API) error {
+	err := r.onOwner(trace, queueName, func(_ string, b queue.API) error {
 		var err error
 		id, err = b.SendMessage(queueName, body)
 		return err
@@ -368,14 +476,14 @@ func (r *Router) SendMessage(queueName string, body []byte) (string, error) {
 	return id, err
 }
 
-// SendMessageBatch enqueues a batch on the owning shard.
-func (r *Router) SendMessageBatch(queueName string, bodies [][]byte) ([]string, error) {
+func (r *Router) sendMessageBatch(trace, queueName string, bodies [][]byte) ([]string, error) {
 	if len(bodies) == 0 || len(bodies) > queue.MaxBatch {
 		return nil, queue.ErrBatchSize
 	}
+	defer r.opDone("send_batch", r.opStart())
 	r.count(queueName)
 	var ids []string
-	err := r.onOwner(queueName, func(_ string, b queue.API) error {
+	err := r.onOwner(trace, queueName, func(_ string, b queue.API) error {
 		var err error
 		ids, err = b.SendMessageBatch(queueName, bodies)
 		return err
@@ -383,10 +491,10 @@ func (r *Router) SendMessageBatch(queueName string, bodies [][]byte) ([]string, 
 	return ids, err
 }
 
-// TransferIn routes a privileged count-preserving enqueue to the
+// transferIn routes a privileged count-preserving enqueue to the
 // owning shard (queue.Transferrer).
-func (r *Router) TransferIn(queueName string, body []byte, receives int) (string, error) {
-	ids, err := r.TransferInBatch(queueName, []queue.TransferItem{{Body: body, Receives: receives}})
+func (r *Router) transferIn(trace, queueName string, body []byte, receives int) (string, error) {
+	ids, err := r.transferInBatch(trace, queueName, []queue.TransferItem{{Body: body, Receives: receives}})
 	if err != nil {
 		return "", err
 	}
@@ -402,7 +510,7 @@ func (r *Router) TransferIn(queueName string, body []byte, receives int) (string
 // call. The backing shard must also implement queue.Transferrer — a
 // remote shard additionally needs its admin token configured, or the
 // call fails with queue.ErrNotPrivileged.
-func (r *Router) TransferInBatch(queueName string, items []queue.TransferItem) ([]string, error) {
+func (r *Router) transferInBatch(trace, queueName string, items []queue.TransferItem) ([]string, error) {
 	if len(items) == 0 || len(items) > queue.MaxBatch {
 		return nil, queue.ErrBatchSize
 	}
@@ -411,9 +519,10 @@ func (r *Router) TransferInBatch(queueName string, items []queue.TransferItem) (
 			return nil, fmt.Errorf("%w: %d", queue.ErrBadTransfer, it.Receives)
 		}
 	}
+	defer r.opDone("transfer", r.opStart())
 	r.count(queueName)
 	var ids []string
-	err := r.onOwner(queueName, func(id string, b queue.API) error {
+	err := r.onOwner(trace, queueName, func(id string, b queue.API) error {
 		tr, ok := b.(queue.Transferrer)
 		if !ok {
 			return fmt.Errorf("shard: shard %s cannot accept transfers: %w", id, queue.ErrNotPrivileged)
@@ -425,18 +534,14 @@ func (r *Router) TransferInBatch(queueName string, items []queue.TransferItem) (
 	return ids, err
 }
 
-// ReceiveMessage pops one message from the owning shard.
-func (r *Router) ReceiveMessage(queueName string, visibility time.Duration) (queue.Message, bool, error) {
-	return r.ReceiveMessageWait(queueName, visibility, 0)
-}
-
-// ReceiveMessageWait long-polls the owning shard; the wait happens on
+// receiveMessageWait long-polls the owning shard; the wait happens on
 // the shard so a send through the router wakes the receiver there.
-func (r *Router) ReceiveMessageWait(queueName string, visibility, wait time.Duration) (queue.Message, bool, error) {
+func (r *Router) receiveMessageWait(trace, queueName string, visibility, wait time.Duration) (queue.Message, bool, error) {
+	defer r.opDone("receive", r.opStart())
 	r.count(queueName)
 	var m queue.Message
 	var ok bool
-	err := r.onOwner(queueName, func(id string, b queue.API) error {
+	err := r.onOwner(trace, queueName, func(id string, b queue.API) error {
 		var err error
 		m, ok, err = b.ReceiveMessageWait(queueName, visibility, wait)
 		if ok {
@@ -450,14 +555,15 @@ func (r *Router) ReceiveMessageWait(queueName string, visibility, wait time.Dura
 	return m, ok, nil
 }
 
-// ReceiveMessageBatch receives up to max messages from the owning shard.
-func (r *Router) ReceiveMessageBatch(queueName string, visibility time.Duration, max int, wait time.Duration) ([]queue.Message, error) {
+// receiveMessageBatch receives up to max messages from the owning shard.
+func (r *Router) receiveMessageBatch(trace, queueName string, visibility time.Duration, max int, wait time.Duration) ([]queue.Message, error) {
 	if max <= 0 || max > queue.MaxBatch {
 		return nil, queue.ErrBatchSize
 	}
+	defer r.opDone("receive", r.opStart())
 	r.count(queueName)
 	var msgs []queue.Message
-	err := r.onOwner(queueName, func(id string, b queue.API) error {
+	err := r.onOwner(trace, queueName, func(id string, b queue.API) error {
 		var err error
 		msgs, err = b.ReceiveMessageBatch(queueName, visibility, max, wait)
 		for i := range msgs {
@@ -475,7 +581,7 @@ func (r *Router) ReceiveMessageBatch(queueName string, visibility time.Duration,
 // must still be routed; a receipt whose shard is gone — or whose shard
 // has since lost the queue to a migration — is stale, not missing: the
 // message was moved and only its next delivery's receipt counts.
-func (r *Router) receiptBackend(queueName, wrapped string) (queue.API, string, error) {
+func (r *Router) receiptBackend(trace, queueName, wrapped string) (queue.API, string, error) {
 	r.mu.RLock()
 	rt := r.routes[queueName]
 	r.mu.RUnlock()
@@ -492,13 +598,15 @@ func (r *Router) receiptBackend(queueName, wrapped string) (queue.API, string, e
 	if b == nil {
 		return nil, "", fmt.Errorf("shard: receipt from unknown shard %q: %w", id, queue.ErrStaleReceipt)
 	}
-	return b, raw, nil
+	r.markShard(id)
+	return scopeTrace(b, trace), raw, nil
 }
 
-// DeleteMessage acknowledges by receipt, routed to the issuing shard.
-func (r *Router) DeleteMessage(queueName, receiptHandle string) error {
+// deleteMessage acknowledges by receipt, routed to the issuing shard.
+func (r *Router) deleteMessage(trace, queueName, receiptHandle string) error {
+	defer r.opDone("delete", r.opStart())
 	r.count(queueName)
-	b, raw, err := r.receiptBackend(queueName, receiptHandle)
+	b, raw, err := r.receiptBackend(trace, queueName, receiptHandle)
 	if err != nil {
 		return err
 	}
@@ -509,12 +617,13 @@ func (r *Router) DeleteMessage(queueName, receiptHandle string) error {
 	return err
 }
 
-// DeleteMessageBatch acknowledges a batch, grouping receipts by issuing
+// deleteMessageBatch acknowledges a batch, grouping receipts by issuing
 // shard; entries keep their per-receipt error positions.
-func (r *Router) DeleteMessageBatch(queueName string, receipts []string) ([]error, error) {
+func (r *Router) deleteMessageBatch(trace, queueName string, receipts []string) ([]error, error) {
 	if len(receipts) == 0 || len(receipts) > queue.MaxBatch {
 		return nil, queue.ErrBatchSize
 	}
+	defer r.opDone("delete_batch", r.opStart())
 	r.count(queueName)
 	r.mu.RLock()
 	rt := r.routes[queueName]
@@ -552,7 +661,8 @@ func (r *Router) DeleteMessageBatch(queueName string, receipts []string) ([]erro
 			}
 			continue
 		}
-		res, err := b.DeleteMessageBatch(queueName, g.raw)
+		r.markShard(id)
+		res, err := scopeTrace(b, trace).DeleteMessageBatch(queueName, g.raw)
 		if err != nil {
 			perEntry := err
 			if errors.Is(err, queue.ErrNoSuchQueue) {
@@ -570,10 +680,11 @@ func (r *Router) DeleteMessageBatch(queueName string, receipts []string) ([]erro
 	return results, nil
 }
 
-// ChangeVisibility adjusts a lease on the issuing shard.
-func (r *Router) ChangeVisibility(queueName, receiptHandle string, d time.Duration) error {
+// changeVisibility adjusts a lease on the issuing shard.
+func (r *Router) changeVisibility(trace, queueName, receiptHandle string, d time.Duration) error {
+	defer r.opDone("change_visibility", r.opStart())
 	r.count(queueName)
-	b, raw, err := r.receiptBackend(queueName, receiptHandle)
+	b, raw, err := r.receiptBackend(trace, queueName, receiptHandle)
 	if err != nil {
 		return err
 	}
@@ -584,11 +695,12 @@ func (r *Router) ChangeVisibility(queueName, receiptHandle string, d time.Durati
 	return err
 }
 
-// ApproximateCount sums the owner's counts with any old shards still
+// approximateCount sums the owner's counts with any old shards still
 // holding in-flight stragglers, so totals stay truthful mid-migration.
-func (r *Router) ApproximateCount(queueName string) (visible, inflight int, err error) {
+func (r *Router) approximateCount(trace, queueName string) (visible, inflight int, err error) {
+	defer r.opDone("count", r.opStart())
 	r.count(queueName)
-	err = r.onOwner(queueName, func(_ string, b queue.API) error {
+	err = r.onOwner(trace, queueName, func(_ string, b queue.API) error {
 		var err error
 		visible, inflight, err = b.ApproximateCount(queueName)
 		return err
@@ -596,7 +708,7 @@ func (r *Router) ApproximateCount(queueName string) (visible, inflight int, err 
 	if err != nil {
 		return 0, 0, err
 	}
-	for _, ob := range r.drainingBackends(queueName) {
+	for _, ob := range r.drainingBackends(trace, queueName) {
 		if v, inf, derr := ob.ApproximateCount(queueName); derr == nil {
 			visible += v
 			inflight += inf
@@ -605,26 +717,164 @@ func (r *Router) ApproximateCount(queueName string) (visible, inflight int, err 
 	return visible, inflight, nil
 }
 
-// Purge clears the queue on its owner and on any draining old shards.
-func (r *Router) Purge(queueName string) error {
+// purge clears the queue on its owner and on any draining old shards.
+func (r *Router) purge(trace, queueName string) error {
+	defer r.opDone("purge", r.opStart())
 	r.count(queueName)
-	err := r.onOwner(queueName, func(_ string, b queue.API) error {
+	err := r.onOwner(trace, queueName, func(_ string, b queue.API) error {
 		return b.Purge(queueName)
 	})
 	if err != nil {
 		return err
 	}
-	for _, ob := range r.drainingBackends(queueName) {
+	for _, ob := range r.drainingBackends(trace, queueName) {
 		_ = ob.Purge(queueName)
 	}
 	return nil
 }
 
+// ---- public queue.API surface ----
+//
+// Every public method is a thin trace-less wrapper over its internal
+// traced twin; WithTrace returns a view binding a trace ID to the same
+// router state. Latency histograms and shard rates live on the internal
+// paths, so traced and untraced calls are measured identically.
+
+// CreateQueue places a new queue on its ring owner (see createQueue).
+func (r *Router) CreateQueue(name string) error { return r.createQueue("", name) }
+
+// DeleteQueue removes a queue from its owner and draining old shards.
+func (r *Router) DeleteQueue(name string) error { return r.deleteQueue("", name) }
+
+// SendMessage enqueues on the owning shard.
+func (r *Router) SendMessage(queueName string, body []byte) (string, error) {
+	return r.sendMessage("", queueName, body)
+}
+
+// SendMessageBatch enqueues a batch on the owning shard.
+func (r *Router) SendMessageBatch(queueName string, bodies [][]byte) ([]string, error) {
+	return r.sendMessageBatch("", queueName, bodies)
+}
+
+// ReceiveMessage pops one message from the owning shard.
+func (r *Router) ReceiveMessage(queueName string, visibility time.Duration) (queue.Message, bool, error) {
+	return r.receiveMessageWait("", queueName, visibility, 0)
+}
+
+// ReceiveMessageWait long-polls the owning shard.
+func (r *Router) ReceiveMessageWait(queueName string, visibility, wait time.Duration) (queue.Message, bool, error) {
+	return r.receiveMessageWait("", queueName, visibility, wait)
+}
+
+// ReceiveMessageBatch receives up to max messages from the owning shard.
+func (r *Router) ReceiveMessageBatch(queueName string, visibility time.Duration, max int, wait time.Duration) ([]queue.Message, error) {
+	return r.receiveMessageBatch("", queueName, visibility, max, wait)
+}
+
+// DeleteMessage acknowledges by receipt, routed to the issuing shard.
+func (r *Router) DeleteMessage(queueName, receiptHandle string) error {
+	return r.deleteMessage("", queueName, receiptHandle)
+}
+
+// DeleteMessageBatch acknowledges a batch, grouped by issuing shard.
+func (r *Router) DeleteMessageBatch(queueName string, receipts []string) ([]error, error) {
+	return r.deleteMessageBatch("", queueName, receipts)
+}
+
+// ChangeVisibility adjusts a lease on the issuing shard.
+func (r *Router) ChangeVisibility(queueName, receiptHandle string, d time.Duration) error {
+	return r.changeVisibility("", queueName, receiptHandle, d)
+}
+
+// ApproximateCount sums the owner's counts with any draining old shards.
+func (r *Router) ApproximateCount(queueName string) (visible, inflight int, err error) {
+	return r.approximateCount("", queueName)
+}
+
+// Purge clears the queue on its owner and on any draining old shards.
+func (r *Router) Purge(queueName string) error { return r.purge("", queueName) }
+
+// TransferIn routes a privileged count-preserving enqueue to the owning
+// shard (queue.Transferrer).
+func (r *Router) TransferIn(queueName string, body []byte, receives int) (string, error) {
+	return r.transferIn("", queueName, body, receives)
+}
+
+// TransferInBatch routes a privileged count-preserving batch enqueue to
+// the owning shard (queue.Transferrer).
+func (r *Router) TransferInBatch(queueName string, items []queue.TransferItem) ([]string, error) {
+	return r.transferInBatch("", queueName, items)
+}
+
+// WithTrace returns a view of the router that carries traceID through to
+// every backend hop (queue.TraceScoper): a remote shard client injects
+// it as the X-Trace-Id header, so one logical request stays correlatable
+// from the caller through the router to the shard that served it.
+func (r *Router) WithTrace(traceID string) queue.API {
+	return &routerView{r: r, trace: traceID}
+}
+
+// routerView is a trace-bound view over a Router. It shares all router
+// state — it only pins the trace ID forwarded on backend hops.
+type routerView struct {
+	r     *Router
+	trace string
+}
+
+var (
+	_ queue.API         = (*routerView)(nil)
+	_ queue.Transferrer = (*routerView)(nil)
+	_ queue.TraceScoper = (*routerView)(nil)
+)
+
+func (v *routerView) WithTrace(traceID string) queue.API {
+	return &routerView{r: v.r, trace: traceID}
+}
+func (v *routerView) CreateQueue(name string) error { return v.r.createQueue(v.trace, name) }
+func (v *routerView) DeleteQueue(name string) error { return v.r.deleteQueue(v.trace, name) }
+func (v *routerView) ListQueues() []string          { return v.r.ListQueues() }
+func (v *routerView) SendMessage(queueName string, body []byte) (string, error) {
+	return v.r.sendMessage(v.trace, queueName, body)
+}
+func (v *routerView) SendMessageBatch(queueName string, bodies [][]byte) ([]string, error) {
+	return v.r.sendMessageBatch(v.trace, queueName, bodies)
+}
+func (v *routerView) ReceiveMessage(queueName string, visibility time.Duration) (queue.Message, bool, error) {
+	return v.r.receiveMessageWait(v.trace, queueName, visibility, 0)
+}
+func (v *routerView) ReceiveMessageWait(queueName string, visibility, wait time.Duration) (queue.Message, bool, error) {
+	return v.r.receiveMessageWait(v.trace, queueName, visibility, wait)
+}
+func (v *routerView) ReceiveMessageBatch(queueName string, visibility time.Duration, max int, wait time.Duration) ([]queue.Message, error) {
+	return v.r.receiveMessageBatch(v.trace, queueName, visibility, max, wait)
+}
+func (v *routerView) DeleteMessage(queueName, receiptHandle string) error {
+	return v.r.deleteMessage(v.trace, queueName, receiptHandle)
+}
+func (v *routerView) DeleteMessageBatch(queueName string, receipts []string) ([]error, error) {
+	return v.r.deleteMessageBatch(v.trace, queueName, receipts)
+}
+func (v *routerView) ChangeVisibility(queueName, receiptHandle string, d time.Duration) error {
+	return v.r.changeVisibility(v.trace, queueName, receiptHandle, d)
+}
+func (v *routerView) ApproximateCount(queueName string) (visible, inflight int, err error) {
+	return v.r.approximateCount(v.trace, queueName)
+}
+func (v *routerView) Purge(queueName string) error { return v.r.purge(v.trace, queueName) }
+func (v *routerView) TransferIn(queueName string, body []byte, receives int) (string, error) {
+	return v.r.transferIn(v.trace, queueName, body, receives)
+}
+func (v *routerView) TransferInBatch(queueName string, items []queue.TransferItem) ([]string, error) {
+	return v.r.transferInBatch(v.trace, queueName, items)
+}
+func (v *routerView) APIRequests() int64                    { return v.r.APIRequests() }
+func (v *routerView) APIRequestsFor(queueName string) int64 { return v.r.APIRequestsFor(queueName) }
+
 // drainingBackends snapshots the old shards still forwarding a queue's
 // stragglers. The current owner is excluded even when its forwarder has
 // not exited yet (the queue migrated back onto a watched shard), so
 // callers never count the live copy twice.
-func (r *Router) drainingBackends(queueName string) []queue.API {
+func (r *Router) drainingBackends(trace, queueName string) []queue.API {
 	r.mu.RLock()
 	rt := r.routes[queueName]
 	r.mu.RUnlock()
@@ -647,7 +897,8 @@ func (r *Router) drainingBackends(queueName string) []queue.API {
 	out := make([]queue.API, 0, len(ids))
 	for _, id := range ids {
 		if b := r.shards[id]; b != nil {
-			out = append(out, b)
+			r.markShard(id)
+			out = append(out, scopeTrace(b, trace))
 		}
 	}
 	return out
@@ -688,10 +939,20 @@ type ShardStat struct {
 	// Requests is the billed request count the shard itself observed —
 	// router traffic plus migration/forwarding traffic.
 	Requests int64
+	// Backlog is the shard's live message depth: visible plus in-flight,
+	// summed over the queues it currently owns, plus leftover stragglers
+	// it still holds for queues that migrated away. Each message is
+	// attributed to exactly one shard (see backlogByShard).
+	Backlog int64
+	// RatePerSec is the router-observed request rate to this shard,
+	// averaged over the trailing 10s window. Zero when the router has no
+	// metrics registry.
+	RatePerSec float64
 }
 
-// Stats aggregates per-shard placement and billing, the sharded view of
-// the attribution model consumers already use per queue.
+// Stats aggregates per-shard placement, billing, live depth, and load —
+// the sharded view of the attribution model consumers already use per
+// queue.
 func (r *Router) Stats() []ShardStat {
 	owners := r.Owners()
 	perShard := make(map[string]int)
@@ -713,14 +974,93 @@ func (r *Router) Stats() []ShardStat {
 	}
 	r.mu.RUnlock()
 	sort.Strings(ids)
+	// Read billed request counts BEFORE probing backlogs: depth probes
+	// against remote shards are themselves billed requests, and reading
+	// in the other order would report Requests inflated by this very
+	// Stats call.
+	requests := make(map[string]int64, len(ids))
+	for _, id := range ids {
+		requests[id] = backends[id].APIRequests()
+	}
+	backlog := r.backlogByShard()
 	out := make([]ShardStat, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, ShardStat{
-			ID:       id,
-			OnRing:   onRing[id],
-			Queues:   perShard[id],
-			Requests: backends[id].APIRequests(),
+			ID:         id,
+			OnRing:     onRing[id],
+			Queues:     perShard[id],
+			Requests:   requests[id],
+			Backlog:    backlog[id],
+			RatePerSec: r.shardRate(id),
 		})
 	}
 	return out
+}
+
+// backlogByShard attributes every routed queue's live depth to the
+// shards actually holding its messages: the owner's count to the owner,
+// and each draining old shard's own leftover count to that shard. The
+// current owner is excluded from a route's draining set — the same
+// exclusion drainingBackends applies — so a queue that migrated back
+// onto a still-watched shard is never counted twice. Routes are read
+// without waiting out a freeze (an admin snapshot must not block on a
+// migration), so a queue mid-drain may briefly show its messages split
+// across both shards — which is also where they physically are.
+//
+// Depth is read through the unbilled queue.DepthReporter diagnostic
+// when the backend offers it (a local *queue.Service); remote shards
+// fall back to a billed ApproximateCount probe per queue.
+func (r *Router) backlogByShard() map[string]int64 {
+	r.mu.RLock()
+	routes := make(map[string]*route, len(r.routes))
+	for n, rt := range r.routes {
+		routes[n] = rt
+	}
+	backends := make(map[string]queue.API, len(r.shards))
+	for id, b := range r.shards {
+		backends[id] = b
+	}
+	r.mu.RUnlock()
+	out := make(map[string]int64, len(backends))
+	for id := range backends {
+		out[id] = 0
+	}
+	for name, rt := range routes {
+		rt.mu.Lock()
+		owner := rt.shard
+		dead := rt.dead
+		drains := make([]string, 0, len(rt.draining))
+		for id := range rt.draining {
+			if id != owner {
+				drains = append(drains, id)
+			}
+		}
+		rt.mu.Unlock()
+		if dead {
+			continue
+		}
+		if v, inf, ok := queueDepth(backends[owner], name); ok {
+			out[owner] += int64(v) + int64(inf)
+		}
+		for _, id := range drains {
+			if v, inf, ok := queueDepth(backends[id], name); ok {
+				out[id] += int64(v) + int64(inf)
+			}
+		}
+	}
+	return out
+}
+
+// queueDepth reads one queue's depth on one backend, preferring the
+// unbilled diagnostic surface.
+func queueDepth(b queue.API, name string) (visible, inflight int, ok bool) {
+	if b == nil {
+		return 0, 0, false
+	}
+	if dr, isDR := b.(queue.DepthReporter); isDR {
+		v, inf, err := dr.QueueDepth(name)
+		return v, inf, err == nil
+	}
+	v, inf, err := b.ApproximateCount(name)
+	return v, inf, err == nil
 }
