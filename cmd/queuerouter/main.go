@@ -9,10 +9,17 @@
 //
 //	queuerouter -addr :8090 -shards a=http://node1:8080,b=http://node2:8080
 //	queuerouter -addr :8090 -local 4     # 4 in-process shards (demo/bench)
+//	queuerouter -addr :8090 -local 4 -wire-addr :8091   # + binary wire listener
 //
 // Queue API: every endpoint of internal/queue.HTTPHandler, unchanged —
 // consumers point their queue.HTTPClient at the router instead of a
-// single node.
+// single node. With -wire-addr the router additionally serves the
+// binary wire protocol (internal/queue/wire) on a second listener and
+// advertises it at GET /wire, so wire.Client consumers skip JSON and
+// HTTP framing on the hot path. The router itself probes each remote
+// shard's GET /wire on registration and speaks wire to shards that
+// advertise it, falling back to HTTP/JSON per request if the wire
+// connection is down.
 //
 // Admin API:
 //
@@ -58,12 +65,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"strings"
 
 	"repro/internal/queue"
 	"repro/internal/queue/shard"
+	"repro/internal/queue/wire"
 	"repro/internal/telemetry"
 )
 
@@ -83,9 +92,27 @@ func parseShards(s string) (map[string]string, error) {
 	return out, nil
 }
 
+// dialShard builds the backend for a remote shard: the wire transport
+// when the node advertises one at GET /wire, plain HTTP otherwise. The
+// HTTP client always exists — it is the wire client's per-request
+// fallback, so a wire listener outage degrades to JSON instead of
+// failing traffic.
+func dialShard(url, token string, reg *telemetry.Registry) (queue.API, string) {
+	httpc := &queue.HTTPClient{BaseURL: url, AdminToken: token}
+	if waddr, ok := wire.DiscoverAddr(url); ok {
+		return wire.Dial(waddr, wire.Options{
+			AdminToken: token,
+			Metrics:    reg,
+			Fallback:   httpc,
+		}), fmt.Sprintf("%s (wire %s)", url, waddr)
+	}
+	return httpc, url + " (http)"
+}
+
 // adminHandler manages router topology and placement over HTTP.
 type adminHandler struct {
-	router *shard.Router
+	router  *shard.Router
+	metrics *telemetry.Registry
 	// transferToken authorizes shards added at runtime for
 	// count-preserving transfers.
 	transferToken string
@@ -163,11 +190,12 @@ func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "shard: missing url parameter", http.StatusBadRequest)
 			return
 		}
-		if err := h.router.AddShard(rest, &queue.HTTPClient{BaseURL: url, AdminToken: h.transferToken}); err != nil {
+		backend, desc := dialShard(url, h.transferToken, h.metrics)
+		if err := h.router.AddShard(rest, backend); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		log.Printf("queuerouter: added shard %q at %s", rest, url)
+		log.Printf("queuerouter: added shard %q at %s", rest, desc)
 		w.WriteHeader(http.StatusCreated)
 	case rest != "" && r.Method == http.MethodDelete:
 		if err := h.router.RemoveShard(rest); err != nil {
@@ -187,6 +215,8 @@ func main() {
 		"remote shards as id=url pairs, e.g. a=http://node1:8080,b=http://node2:8080")
 	local := flag.Int("local", 0, "run N in-process shards instead of remote ones")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (default 64)")
+	wireAddr := flag.String("wire-addr", "",
+		"serve the binary wire protocol on this additional listener, advertised at GET /wire (empty disables)")
 	transferToken := flag.String("transfer-token", "",
 		"admin token(s) for the privileged count-preserving transfer endpoint, comma-separated for rotation: all are accepted by this router, the first is presented to remote shards (empty disables the endpoint; migration then re-sends publicly, resetting delivery counts)")
 	slow := flag.Duration("slow", 0,
@@ -211,10 +241,11 @@ func main() {
 	router := shard.NewRouter(shard.Config{VirtualNodes: *vnodes, Metrics: reg})
 	defer router.Close()
 	for id, url := range remotes {
-		if err := router.AddShard(id, &queue.HTTPClient{BaseURL: url, AdminToken: presentToken}); err != nil {
+		backend, desc := dialShard(url, presentToken, reg)
+		if err := router.AddShard(id, backend); err != nil {
 			log.Fatalf("queuerouter: add shard %q: %v", id, err)
 		}
-		log.Printf("queuerouter: shard %q -> %s", id, url)
+		log.Printf("queuerouter: shard %q -> %s", id, desc)
 	}
 	for i := 0; i < *local; i++ {
 		id := fmt.Sprintf("local%d", i)
@@ -237,13 +268,28 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		log.Printf("queuerouter: pprof enabled on /debug/pprof/")
 	}
-	mux.Handle("/admin/", &adminHandler{router: router, transferToken: presentToken})
-	mux.Handle("/", &queue.HTTPHandler{
+	mux.Handle("/admin/", &adminHandler{router: router, metrics: reg, transferToken: presentToken})
+	qh := &queue.HTTPHandler{
 		Service:     router,
 		AdminTokens: tokens,
 		SlowRequest: *slow,
 		Metrics:     reg,
-	})
+	}
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("queuerouter: -wire-addr: %v", err)
+		}
+		ws := &wire.Server{Service: router, AdminTokens: tokens, Metrics: reg}
+		go func() {
+			if err := ws.Serve(ln); err != nil && !errors.Is(err, wire.ErrServerClosed) {
+				log.Fatalf("queuerouter: wire listener: %v", err)
+			}
+		}()
+		qh.WireAddr = ln.Addr().String()
+		log.Printf("queuerouter: wire protocol on %s", ln.Addr())
+	}
+	mux.Handle("/", qh)
 	log.Printf("queuerouter: listening on %s with %d shard(s)", *addr, len(router.Shards()))
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)

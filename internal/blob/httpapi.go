@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/httpx"
 	"repro/internal/telemetry"
 )
 
@@ -199,7 +200,10 @@ func (c *HTTPClient) httpClient() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
-	return http.DefaultClient
+	// The shared tuned client: the default transport's 2 idle
+	// connections per host starve concurrent map/reduce workers all
+	// pulling blobs from one store (see package httpx).
+	return httpx.Client
 }
 
 // send stamps the trace header (when scoped) and issues the request —

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/httpx"
 )
 
 // HTTPHandler exposes a Broker through a REST interface, the broker
@@ -186,7 +188,7 @@ func (c *HTTPClient) httpClient() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
-	return http.DefaultClient
+	return httpx.Client
 }
 
 // Submit posts a job and returns its initial status.

@@ -1,0 +1,131 @@
+package queue
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBodyBucketIndex(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 20, bodyBucketCount - 1}, {1<<20 + 1, -1}, {64 << 20, -1},
+	}
+	for _, c := range cases {
+		if got := bodyBucketIndex(c.n); got != c.want {
+			t.Errorf("bodyBucketIndex(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBodyGetPutClasses(t *testing.T) {
+	b := bodyGet(100)
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("bodyGet(100): len=%d cap=%d, want 100/128", len(b), cap(b))
+	}
+	bodyPut(b) // exact class capacity: accepted
+	big := bodyGet(2 << 20)
+	if len(big) != 2<<20 {
+		t.Fatalf("oversized bodyGet: len=%d", len(big))
+	}
+	bodyPut(big)                  // beyond the largest class: silently dropped
+	bodyPut(make([]byte, 0, 100)) // odd capacity: silently dropped
+}
+
+// TestBodyPoolRecyclingPreservesContents churns one queue through
+// many send/receive/delete cycles of varied sizes and verifies every
+// delivered body matches what was sent — the guard against a recycled
+// buffer leaking stale longer contents or being handed out while an
+// earlier message still owns it.
+func TestBodyPoolRecyclingPreservesContents(t *testing.T) {
+	s := NewService(Config{})
+	if err := s.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var inFlight []struct {
+		want    []byte
+		receipt string
+	}
+	for i := 0; i < 500; i++ {
+		size := 1 << uint(rng.Intn(12)) // 1B .. 2KiB, crossing many classes
+		body := bytes.Repeat([]byte{byte(i)}, size)
+		body = append(body, []byte(fmt.Sprintf("|%d", i))...)
+		if _, err := s.SendMessage("q", body); err != nil {
+			t.Fatal(err)
+		}
+		m, ok, err := s.ReceiveMessage("q", time.Hour)
+		if err != nil || !ok {
+			t.Fatalf("receive %d: ok=%v err=%v", i, ok, err)
+		}
+		inFlight = append(inFlight, struct {
+			want    []byte
+			receipt string
+		}{append([]byte(nil), m.Body...), m.ReceiptHandle})
+		// Ack a random earlier message so deletes interleave with live
+		// receives and the pool keeps cycling buffers of other sizes.
+		if len(inFlight) > 4 {
+			j := rng.Intn(len(inFlight))
+			if err := s.DeleteMessage("q", inFlight[j].receipt); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			}
+			inFlight = append(inFlight[:j], inFlight[j+1:]...)
+		}
+		// The bodies of still-live messages must be untouched by any
+		// recycling the deletes above triggered.
+		visible, _, err := s.ApproximateCount("q")
+		if err != nil || visible != 0 {
+			t.Fatalf("cycle %d: %d visible, err=%v", i, visible, err)
+		}
+	}
+	for _, f := range inFlight {
+		if err := s.DeleteMessage("q", f.receipt); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBodyPoolDisabledWithDuplicates: with duplicate injection on, a
+// delivery can hand the same stored buffer to two receivers without
+// hiding the message, so delete must NOT recycle — the other receiver
+// still legitimately reads it.
+func TestBodyPoolDisabledWithDuplicates(t *testing.T) {
+	s := NewService(Config{DuplicateProb: 1.0})
+	if err := s.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("survives the other copy's delete")
+	if _, err := s.SendMessage("q", want); err != nil {
+		t.Fatal(err)
+	}
+	// DuplicateProb 1 delivers without hiding: both receives see the
+	// same message, each with its own (superseding) receipt.
+	first, ok, err := s.ReceiveMessage("q", time.Hour)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	second, ok, err := s.ReceiveMessage("q", time.Hour)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if err := s.DeleteMessage("q", second.ReceiptHandle); err != nil {
+		t.Fatal(err)
+	}
+	// Force pool churn that would reuse a recycled buffer if one had
+	// been freed.
+	if err := s.CreateQueue("churn"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := s.SendMessage("churn", bytes.Repeat([]byte{0xee}, len(want))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(first.Body, want) {
+		t.Fatalf("duplicate holder's body corrupted after the other copy was deleted: %q", first.Body)
+	}
+}

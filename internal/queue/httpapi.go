@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/httpx"
 	"repro/internal/telemetry"
 )
 
@@ -24,6 +25,7 @@ import (
 //
 //	GET    /q                                list queues ({"queues": [...]})
 //	GET    /requests                         total billed requests ({"requests": n})
+//	GET    /wire                             advertised wire endpoint ({"addr": "host:port"}; 404 when none)
 //	PUT    /q/{name}                         create queue
 //	DELETE /q/{name}                         delete queue
 //	GET    /q/{name}/count                   approximate counts (JSON)
@@ -65,6 +67,13 @@ type HTTPHandler struct {
 	// in which transfers 403. Order does not matter for acceptance;
 	// clients present exactly one token (by convention the newest).
 	AdminTokens []string
+
+	// WireAddr, when set, is advertised at GET /wire: the address of
+	// the binary wire-protocol listener serving the same queue
+	// namespace. Clients that understand the wire face (wire.DiscoverAddr,
+	// the shard router's backend probe) upgrade to it; everyone else
+	// keeps speaking JSON. Empty disables the advertisement (404).
+	WireAddr string
 
 	// Every request is tagged with a trace ID: the telemetry.TraceHeader
 	// request header when present (propagated from an upstream hop), a
@@ -141,6 +150,18 @@ func (h *HTTPHandler) dispatch(w http.ResponseWriter, r *http.Request, svc API) 
 			return
 		}
 		writeJSON(w, map[string]int64{"requests": svc.APIRequests()})
+		return
+	}
+	if r.URL.Path == "/wire" {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if h.WireAddr == "" {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, map[string]string{"addr": h.WireAddr})
 		return
 	}
 	if r.URL.Path == "/q" || r.URL.Path == "/q/" {
@@ -530,7 +551,10 @@ func (c *HTTPClient) httpClient() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
-	return http.DefaultClient
+	// The shared tuned client, not http.DefaultClient: the default
+	// transport's 2 idle connections per host starve any deployment
+	// with real worker concurrency (see package httpx).
+	return httpx.Client
 }
 
 // do sends a request, stamping the trace header first. Every outgoing

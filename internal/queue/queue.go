@@ -113,7 +113,13 @@ func (c *FakeClock) AdvanceCh() <-chan struct{} {
 //
 // Body aliases the service's stored copy (made once at SendMessage);
 // receivers must treat it as read-only. Mutating it corrupts future
-// redeliveries of the same message.
+// redeliveries of the same message. The stored copy lives in a pooled
+// buffer that is recycled when the message is deleted, so Body is
+// valid only while the message is live: a consumer that lost its lease
+// (the visibility timeout passed and another consumer may delete the
+// message) must not touch Body afterwards. Remote consumers are
+// unaffected — the HTTP and wire transports both copy bodies at the
+// protocol boundary.
 type Message struct {
 	ID            string
 	Body          []byte
@@ -308,6 +314,62 @@ func (s *Service) opDone(op string, start time.Time) {
 	s.met.ops[op].Observe(time.Since(start))
 }
 
+// bodyBuckets pools message-body buffers in power-of-two size classes
+// (64 B … 1 MiB): the Send-side copy is the queue hot path's dominant
+// allocation, and a steady-state send/receive/delete workload churns
+// one buffer per message without the pool. Buffers are taken at
+// SendMessage and returned at DeleteMessage — the only point where the
+// caller has proven (by presenting the latest receipt) that the
+// message's life is over. Purge and DeleteQueue deliberately leave
+// buffers to the garbage collector: they can race with consumers still
+// holding leases, and a freed-under-the-reader buffer is a correctness
+// bug while an unpooled one is only a missed optimization.
+const (
+	minBodyBucket   = 64
+	bodyBucketCount = 15 // largest class: 64 << 14 = 1 MiB
+)
+
+var bodyBuckets [bodyBucketCount]sync.Pool
+
+// bodyBucketIndex returns the smallest size class holding n bytes, or
+// -1 when n exceeds the largest class (such bodies are not pooled).
+func bodyBucketIndex(n int) int {
+	size := minBodyBucket
+	for i := 0; i < bodyBucketCount; i++ {
+		if n <= size {
+			return i
+		}
+		size <<= 1
+	}
+	return -1
+}
+
+// bodyGet returns an n-byte buffer backed by its size class, or a
+// plain allocation for oversized bodies.
+func bodyGet(n int) []byte {
+	i := bodyBucketIndex(n)
+	if i < 0 {
+		return make([]byte, n)
+	}
+	if v := bodyBuckets[i].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, minBodyBucket<<i)
+}
+
+// bodyPut recycles a buffer whose capacity is exactly one of the size
+// classes; anything else (oversized bodies, buffers from plain append)
+// is left to the garbage collector.
+func bodyPut(b []byte) {
+	c := cap(b)
+	i := bodyBucketIndex(c)
+	if i < 0 || minBodyBucket<<i != c {
+		return
+	}
+	b = b[:c]
+	bodyBuckets[i].Put(&b)
+}
+
 // message is the stored form of one queued item. A live message is in
 // exactly one of the queue's two delivery structures: the visible list
 // (elem != nil) or the in-flight heap (heapIdx >= 0).
@@ -323,6 +385,12 @@ type message struct {
 
 type queueState struct {
 	name string
+	// poolBodies enables recycling of message-body buffers on delete.
+	// It is off when the service injects duplicate deliveries: a
+	// duplicate hands the same stored buffer to two receivers without a
+	// second copy, so the first delete would recycle a buffer the other
+	// receiver legitimately still reads.
+	poolBodies bool
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -592,11 +660,12 @@ func (s *Service) CreateQueue(name string) error {
 		return ErrQueueExists
 	}
 	s.queues[name] = &queueState{
-		name:      name,
-		rng:       rand.New(rand.NewSource(queueSeed(s.cfg.Seed, name))),
-		visible:   list.New(),
-		byReceipt: make(map[string]*message),
-		notify:    make(chan struct{}),
+		name:       name,
+		poolBodies: s.cfg.DuplicateProb == 0,
+		rng:        rand.New(rand.NewSource(queueSeed(s.cfg.Seed, name))),
+		visible:    list.New(),
+		byReceipt:  make(map[string]*message),
+		notify:     make(chan struct{}),
 	}
 	return nil
 }
@@ -718,9 +787,14 @@ func (q *queueState) sendLocked(queueName string, body []byte, receives int) str
 	q.nextID++
 	m := &message{
 		id:       fmt.Sprintf("%s-%d", queueName, q.nextID),
-		body:     append([]byte(nil), body...),
 		receives: receives,
 		heapIdx:  -1,
+	}
+	if q.poolBodies {
+		m.body = bodyGet(len(body))
+		copy(m.body, body)
+	} else {
+		m.body = append([]byte(nil), body...)
 	}
 	m.elem = q.visible.PushBack(m)
 	return m.id
@@ -949,6 +1023,10 @@ func (q *queueState) deleteLocked(receiptHandle string) error {
 		heap.Remove(&q.inflight, m.heapIdx)
 	}
 	delete(q.byReceipt, receiptHandle)
+	if q.poolBodies {
+		bodyPut(m.body)
+		m.body = nil
+	}
 	return nil
 }
 

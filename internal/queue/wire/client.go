@@ -1,0 +1,732 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/telemetry"
+)
+
+// ErrUnavailable marks a transport-level failure — dial refused, peer
+// hung up, request timed out, client closed — as opposed to a protocol
+// answer like ErrNoSuchQueue. Calls failing with it are retried on the
+// configured Fallback transport when one is set; protocol errors never
+// are (the remote already answered).
+var ErrUnavailable = errors.New("wire: endpoint unavailable")
+
+// Options tunes a Client.
+type Options struct {
+	// Conns is the connection-pool size (default 4). Pipelining means a
+	// few connections carry many in-flight requests; the pool exists to
+	// spread load across reader/writer goroutine pairs, not to provide
+	// one connection per caller.
+	Conns int
+	// DialTimeout bounds one connect attempt (default 3s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one round trip, excluding any long-poll
+	// wait the request itself asks for — receives get RequestTimeout
+	// plus their wait (default 30s).
+	RequestTimeout time.Duration
+	// MaxBackoff caps the reconnect backoff after repeated dial
+	// failures (default 2s; the first retry waits 50ms). While a pool
+	// slot is backing off, calls through it fail fast with
+	// ErrUnavailable instead of queueing behind doomed dials.
+	MaxBackoff time.Duration
+	// MaxFrame caps one response frame (default DefaultMaxFrame).
+	MaxFrame int
+	// AdminToken authorizes the privileged transfer opcode, with the
+	// same client-side contract as queue.HTTPClient: empty fails
+	// transfers locally with ErrNotPrivileged.
+	AdminToken string
+	// TraceID, when set, rides in every request frame's trace field —
+	// the binary equivalent of the X-Trace-Id header. Use WithTrace
+	// for scoped views.
+	TraceID string
+	// Fallback, when set, serves any call that fails at the transport
+	// level (ErrUnavailable) — typically the queue.HTTPClient for the
+	// same node, making "prefer wire, fall back to JSON" a property of
+	// the client rather than every call site.
+	Fallback queue.API
+	// Metrics, when set, registers a wire_client_conns{peer=addr}
+	// open-connection gauge.
+	Metrics *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	return o
+}
+
+// Client speaks the wire protocol to one endpoint and implements
+// queue.API (plus Transferrer and TraceScoper), so it drops in
+// anywhere a queue.HTTPClient does — including as a shard backend
+// behind shard.Router.
+type Client struct {
+	p     *pool
+	trace string
+}
+
+var (
+	_ queue.API         = (*Client)(nil)
+	_ queue.Transferrer = (*Client)(nil)
+	_ queue.TraceScoper = (*Client)(nil)
+)
+
+// Dial creates a client for addr ("host:port"). Connections are
+// established lazily on first use, so Dial itself cannot fail; an
+// unreachable endpoint surfaces as ErrUnavailable (or as Fallback
+// traffic) on the first call.
+func Dial(addr string, opt Options) *Client {
+	opt = opt.withDefaults()
+	p := &pool{addr: addr, opt: opt}
+	p.conns = make([]*cliConn, opt.Conns)
+	for i := range p.conns {
+		p.conns[i] = &cliConn{p: p}
+	}
+	if opt.Metrics != nil {
+		p.connGauge = opt.Metrics.Gauge(telemetry.Label("wire_client_conns", "peer", addr))
+	}
+	return &Client{p: p, trace: opt.TraceID}
+}
+
+// Addr returns the endpoint this client dials.
+func (c *Client) Addr() string { return c.p.addr }
+
+// Close tears down every pooled connection. In-flight calls fail with
+// ErrUnavailable.
+func (c *Client) Close() error {
+	c.p.closed.Store(true)
+	for _, s := range c.p.conns {
+		s.mu.Lock()
+		g := s.cur
+		s.mu.Unlock()
+		if g != nil {
+			g.fail(ErrUnavailable)
+		}
+	}
+	return nil
+}
+
+// WithTrace returns a view whose requests carry traceID, sharing the
+// connection pool with the receiver.
+func (c *Client) WithTrace(traceID string) queue.API {
+	return &Client{p: c.p, trace: traceID}
+}
+
+// pool is the shared state behind every trace-scoped view of a client.
+type pool struct {
+	addr      string
+	opt       Options
+	next      atomic.Uint64
+	conns     []*cliConn
+	closed    atomic.Bool
+	connGauge *telemetry.Gauge
+}
+
+// cliConn is one pool slot: at most one live connection generation,
+// plus the reconnect backoff state that outlives generations.
+type cliConn struct {
+	p       *pool
+	mu      sync.Mutex
+	cur     *connGen
+	retryAt time.Time
+	backoff time.Duration
+}
+
+// connGen is one connection's lifetime: the writer/reader goroutine
+// pair, the pending-call index for correlation-id demux, and a done
+// channel closed exactly once when the generation dies.
+type connGen struct {
+	p         *pool
+	nc        net.Conn
+	writeCh   chan *[]byte
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	nextID  uint64
+	dead    bool
+}
+
+type call struct{ ch chan callRes }
+
+type callRes struct {
+	f   Frame
+	buf *[]byte
+	err error
+}
+
+// callPool recycles call handles. The ownership protocol makes reuse
+// safe: a call is delivered to at most once (pending lookup+delete is
+// atomic under connGen.mu), and the handle returns to the pool only
+// after its single delivery was consumed or provably never claimed.
+var callPool = sync.Pool{New: func() any { return &call{ch: make(chan callRes, 1)} }}
+
+// get returns the slot's live generation, dialing a fresh connection
+// when there is none. Repeated dial failures open the backoff window,
+// during which calls fail immediately.
+func (s *cliConn) get() (*connGen, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != nil {
+		select {
+		case <-s.cur.done:
+			s.cur = nil
+		default:
+			return s.cur, nil
+		}
+	}
+	now := time.Now()
+	if now.Before(s.retryAt) {
+		return nil, fmt.Errorf("%w: %s in reconnect backoff", ErrUnavailable, s.p.addr)
+	}
+	nc, err := net.DialTimeout("tcp", s.p.addr, s.p.opt.DialTimeout)
+	if err != nil {
+		if s.backoff == 0 {
+			s.backoff = 50 * time.Millisecond
+		} else {
+			s.backoff *= 2
+			if s.backoff > s.p.opt.MaxBackoff {
+				s.backoff = s.p.opt.MaxBackoff
+			}
+		}
+		s.retryAt = time.Now().Add(s.backoff)
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, s.p.addr, err)
+	}
+	s.backoff, s.retryAt = 0, time.Time{}
+	g := &connGen{
+		p:       s.p,
+		nc:      nc,
+		writeCh: make(chan *[]byte, 64),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]*call),
+	}
+	if s.p.connGauge != nil {
+		s.p.connGauge.Add(1)
+	}
+	go g.writer()
+	go g.reader()
+	s.cur = g
+	return g, nil
+}
+
+// fail kills the generation: wakes the goroutine pair, fails every
+// pending call with err, and refuses new registrations.
+func (g *connGen) fail(err error) {
+	g.closeOnce.Do(func() {
+		g.mu.Lock()
+		g.dead = true
+		pending := g.pending
+		g.pending = nil
+		g.mu.Unlock()
+		close(g.done)
+		g.nc.Close()
+		if !errors.Is(err, ErrUnavailable) {
+			err = fmt.Errorf("%w: %s: %v", ErrUnavailable, g.p.addr, err)
+		}
+		for _, cl := range pending {
+			cl.ch <- callRes{err: err}
+		}
+		if g.p.connGauge != nil {
+			g.p.connGauge.Add(-1)
+		}
+	})
+}
+
+// writer drains request frames, coalescing queued frames into one
+// flush — many pipelined requests per syscall.
+func (g *connGen) writer() {
+	bw := bufio.NewWriterSize(g.nc, 64<<10)
+	for {
+		select {
+		case bp := <-g.writeCh:
+			err := writeFrame(bw, *bp)
+			putBuf(bp)
+			for err == nil {
+				select {
+				case bp := <-g.writeCh:
+					err = writeFrame(bw, *bp)
+					putBuf(bp)
+					continue
+				default:
+				}
+				break
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				g.fail(err)
+				return
+			}
+		case <-g.done:
+			return
+		}
+	}
+}
+
+// reader demultiplexes response frames to their waiting calls by
+// correlation id. A frame whose call was abandoned (request timeout)
+// is dropped; its buffer goes straight back to the pool.
+func (g *connGen) reader() {
+	br := bufio.NewReaderSize(g.nc, 64<<10)
+	for {
+		bp, err := readFrameBody(br, g.p.opt.MaxFrame)
+		if err != nil {
+			g.fail(err)
+			return
+		}
+		f, err := parseBody(*bp)
+		if err != nil {
+			putBuf(bp)
+			g.fail(err)
+			return
+		}
+		g.mu.Lock()
+		cl, okc := g.pending[f.CorrID]
+		if okc {
+			delete(g.pending, f.CorrID)
+		}
+		g.mu.Unlock()
+		if !okc {
+			putBuf(bp)
+			continue
+		}
+		cl.ch <- callRes{f: f, buf: bp}
+	}
+}
+
+// roundTrip sends one request over the pool and waits for its
+// response. extraWait extends the request timeout by any long-poll
+// time the request itself asks the server to block for.
+func (p *pool) roundTrip(op byte, queueName, trace string, extraWait time.Duration, payload func(*enc)) (callRes, error) {
+	if p.closed.Load() {
+		return callRes{}, fmt.Errorf("%w: client closed", ErrUnavailable)
+	}
+	slot := p.conns[p.next.Add(1)%uint64(len(p.conns))]
+	g, err := slot.get()
+	if err != nil {
+		return callRes{}, err
+	}
+	cl := callPool.Get().(*call)
+	g.mu.Lock()
+	if g.dead {
+		g.mu.Unlock()
+		callPool.Put(cl)
+		return callRes{}, fmt.Errorf("%w: %s: connection lost", ErrUnavailable, p.addr)
+	}
+	g.nextID++
+	id := g.nextID
+	g.pending[id] = cl
+	g.mu.Unlock()
+
+	body := encodeRequest(op, id, queueName, trace, payload)
+	select {
+	case g.writeCh <- body:
+	case <-g.done:
+		putBuf(body)
+		// The generation failed; fail() either already delivered the
+		// error to cl or is about to — consume it so cl can be reused.
+		res := <-cl.ch
+		callPool.Put(cl)
+		if res.err == nil {
+			res.err = fmt.Errorf("%w: %s: connection lost", ErrUnavailable, p.addr)
+		}
+		return callRes{}, res.err
+	}
+
+	timeout := p.opt.RequestTimeout
+	if extraWait > 0 {
+		timeout += extraWait
+	}
+	timer := time.NewTimer(timeout)
+	select {
+	case res := <-cl.ch:
+		timer.Stop()
+		callPool.Put(cl)
+		return res, res.err
+	case <-timer.C:
+		g.mu.Lock()
+		_, still := g.pending[id]
+		if still {
+			delete(g.pending, id)
+		}
+		g.mu.Unlock()
+		if !still {
+			// The reader (or fail) claimed the call before we could
+			// unregister; its delivery is imminent — consume it so the
+			// pooled handle is clean.
+			res := <-cl.ch
+			if res.buf != nil {
+				putBuf(res.buf)
+			}
+		}
+		callPool.Put(cl)
+		return callRes{}, fmt.Errorf("%w: %s %s timed out after %s", ErrUnavailable, opNames[op], p.addr, timeout)
+	}
+}
+
+// do performs one round trip and hands back a decoder positioned at
+// the OK payload plus the pooled response buffer the decoder reads
+// from. The caller extracts its results and releases the buffer with
+// putBuf; on error there is nothing to release.
+func (c *Client) do(op byte, queueName string, extraWait time.Duration, payload func(*enc)) (dec, *[]byte, error) {
+	res, err := c.p.roundTrip(op, queueName, c.trace, extraWait, payload)
+	if err != nil {
+		return dec{}, nil, err
+	}
+	d := dec{b: res.f.Payload}
+	status := d.byte()
+	if d.err != nil || res.f.Op != op {
+		putBuf(res.buf)
+		return dec{}, nil, fmt.Errorf("%w: %s: corrupt response", ErrUnavailable, c.p.addr)
+	}
+	if status != statusOK {
+		msg := d.str()
+		putBuf(res.buf)
+		return dec{}, nil, statusErr(status, msg)
+	}
+	return d, res.buf, nil
+}
+
+// finish releases the response buffer and converts any payload-decode
+// underflow into a transport error (a malformed success payload means
+// the peer is broken, not that the queue answered).
+func (c *Client) finish(d *dec, buf *[]byte) error {
+	err := d.err
+	putBuf(buf)
+	if err != nil {
+		return fmt.Errorf("%w: %s: corrupt response payload", ErrUnavailable, c.p.addr)
+	}
+	return nil
+}
+
+// fallback returns the API to retry err on, or nil when the call must
+// not be retried: protocol answers stick, only transport failures move
+// to the fallback. The view is trace-scoped when this client is.
+func (c *Client) fallback(err error) queue.API {
+	if c.p.opt.Fallback == nil || !errors.Is(err, ErrUnavailable) {
+		return nil
+	}
+	fb := c.p.opt.Fallback
+	if c.trace != "" {
+		if ts, ok := fb.(queue.TraceScoper); ok {
+			fb = ts.WithTrace(c.trace)
+		}
+	}
+	return fb
+}
+
+// --- queue.API ---
+
+// CreateQueue registers a queue on the remote service.
+func (c *Client) CreateQueue(name string) error {
+	d, buf, err := c.do(OpCreateQueue, name, 0, nil)
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.CreateQueue(name)
+		}
+		return err
+	}
+	return c.finish(&d, buf)
+}
+
+// DeleteQueue removes a queue and its messages.
+func (c *Client) DeleteQueue(name string) error {
+	d, buf, err := c.do(OpDeleteQueue, name, 0, nil)
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.DeleteQueue(name)
+		}
+		return err
+	}
+	return c.finish(&d, buf)
+}
+
+// ListQueues returns the remote queue names, or nil when the request
+// fails (the interface carries no error return, matching Service).
+func (c *Client) ListQueues() []string {
+	d, buf, err := c.do(OpListQueues, "", 0, nil)
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.ListQueues()
+		}
+		return nil
+	}
+	names := d.strs()
+	if c.finish(&d, buf) != nil {
+		return nil
+	}
+	return names
+}
+
+// SendMessage enqueues one body as a single frame.
+func (c *Client) SendMessage(queueName string, body []byte) (string, error) {
+	d, buf, err := c.do(OpSend, queueName, 0, func(e *enc) { e.b = append(e.b, body...) })
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.SendMessage(queueName, body)
+		}
+		return "", err
+	}
+	id := d.str()
+	if err := c.finish(&d, buf); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// SendMessageBatch enqueues up to queue.MaxBatch bodies in one frame,
+// billed as one request by the remote service.
+func (c *Client) SendMessageBatch(queueName string, bodies [][]byte) ([]string, error) {
+	d, buf, err := c.do(OpSendBatch, queueName, 0, func(e *enc) {
+		e.u64(uint64(len(bodies)))
+		for _, b := range bodies {
+			e.bytes(b)
+		}
+	})
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.SendMessageBatch(queueName, bodies)
+		}
+		return nil, err
+	}
+	ids := d.strs()
+	if err := c.finish(&d, buf); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// receive is the shared receive core mirroring Service.receiveBatchWait.
+func (c *Client) receive(queueName string, visibility time.Duration, max int, wait time.Duration) ([]queue.Message, error) {
+	d, buf, err := c.do(OpReceive, queueName, wait, func(e *enc) {
+		e.i64(int64(visibility))
+		e.i64(int64(wait))
+		e.u64(uint64(max))
+	})
+	if err != nil {
+		return nil, err
+	}
+	msgs := d.messages()
+	if err := c.finish(&d, buf); err != nil {
+		return nil, err
+	}
+	return msgs, nil
+}
+
+// ReceiveMessage pops one visible message without waiting.
+func (c *Client) ReceiveMessage(queueName string, visibility time.Duration) (queue.Message, bool, error) {
+	return c.ReceiveMessageWait(queueName, visibility, 0)
+}
+
+// ReceiveMessageWait pops one message, long-polling up to wait. The
+// request deadline stretches by wait so a long poll is not mistaken
+// for a dead connection.
+func (c *Client) ReceiveMessageWait(queueName string, visibility, wait time.Duration) (queue.Message, bool, error) {
+	msgs, err := c.receive(queueName, visibility, 1, wait)
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.ReceiveMessageWait(queueName, visibility, wait)
+		}
+		return queue.Message{}, false, err
+	}
+	if len(msgs) == 0 {
+		return queue.Message{}, false, nil
+	}
+	return msgs[0], true, nil
+}
+
+// ReceiveMessageBatch receives up to max messages in one frame.
+func (c *Client) ReceiveMessageBatch(queueName string, visibility time.Duration, max int, wait time.Duration) ([]queue.Message, error) {
+	msgs, err := c.receive(queueName, visibility, max, wait)
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.ReceiveMessageBatch(queueName, visibility, max, wait)
+		}
+		return nil, err
+	}
+	return msgs, nil
+}
+
+// DeleteMessage acknowledges one message by receipt handle.
+func (c *Client) DeleteMessage(queueName, receiptHandle string) error {
+	d, buf, err := c.do(OpDelete, queueName, 0, func(e *enc) { e.str(receiptHandle) })
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.DeleteMessage(queueName, receiptHandle)
+		}
+		return err
+	}
+	return c.finish(&d, buf)
+}
+
+// DeleteMessageBatch acknowledges up to queue.MaxBatch messages in one
+// frame; per-receipt verdicts come back positionally, nil for success.
+func (c *Client) DeleteMessageBatch(queueName string, receipts []string) ([]error, error) {
+	d, buf, err := c.do(OpDeleteBatch, queueName, 0, func(e *enc) { appendStrings(e, receipts) })
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.DeleteMessageBatch(queueName, receipts)
+		}
+		return nil, err
+	}
+	n := d.len()
+	results := make([]error, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		code := d.byte()
+		if code == statusOK {
+			results = append(results, nil)
+			continue
+		}
+		results = append(results, statusErr(code, d.str()))
+	}
+	if err := c.finish(&d, buf); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ChangeVisibility extends or shrinks an in-flight message's lease.
+func (c *Client) ChangeVisibility(queueName, receiptHandle string, dur time.Duration) error {
+	d, buf, err := c.do(OpChangeVisibility, queueName, 0, func(e *enc) {
+		e.str(receiptHandle)
+		e.i64(int64(dur))
+	})
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.ChangeVisibility(queueName, receiptHandle, dur)
+		}
+		return err
+	}
+	return c.finish(&d, buf)
+}
+
+// ApproximateCount reports visible and in-flight message counts.
+func (c *Client) ApproximateCount(queueName string) (visible, inflight int, err error) {
+	d, buf, err := c.do(OpCount, queueName, 0, nil)
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.ApproximateCount(queueName)
+		}
+		return 0, 0, err
+	}
+	visible = int(d.u64())
+	inflight = int(d.u64())
+	if err := c.finish(&d, buf); err != nil {
+		return 0, 0, err
+	}
+	return visible, inflight, nil
+}
+
+// Purge removes every message from a queue.
+func (c *Client) Purge(queueName string) error {
+	d, buf, err := c.do(OpPurge, queueName, 0, nil)
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.Purge(queueName)
+		}
+		return err
+	}
+	return c.finish(&d, buf)
+}
+
+// APIRequests returns the remote billed-request total, 0 on failure
+// (the interface carries no error return, matching Service).
+func (c *Client) APIRequests() int64 {
+	d, buf, err := c.do(OpRequests, "", 0, nil)
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.APIRequests()
+		}
+		return 0
+	}
+	n := int64(d.u64())
+	if c.finish(&d, buf) != nil {
+		return 0
+	}
+	return n
+}
+
+// APIRequestsFor returns the billed calls addressed to one queue.
+func (c *Client) APIRequestsFor(queueName string) int64 {
+	d, buf, err := c.do(OpRequestsFor, queueName, 0, nil)
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			return fb.APIRequestsFor(queueName)
+		}
+		return 0
+	}
+	n := int64(d.u64())
+	if c.finish(&d, buf) != nil {
+		return 0
+	}
+	return n
+}
+
+// --- queue.Transferrer ---
+
+// TransferIn enqueues one body with prior deliveries preserved.
+func (c *Client) TransferIn(queueName string, body []byte, receives int) (string, error) {
+	ids, err := c.TransferInBatch(queueName, []queue.TransferItem{{Body: body, Receives: receives}})
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
+}
+
+// TransferInBatch streams up to queue.MaxBatch count-preserving items
+// in one frame — the batched transfer path drain-and-forward migration
+// uses instead of per-item HTTP requests. With no AdminToken the call
+// fails locally, mirroring queue.HTTPClient: it cannot possibly
+// succeed, and the migrator probes this once per batch.
+func (c *Client) TransferInBatch(queueName string, items []queue.TransferItem) ([]string, error) {
+	if len(items) == 0 || len(items) > queue.MaxBatch {
+		return nil, queue.ErrBatchSize
+	}
+	if c.p.opt.AdminToken == "" {
+		return nil, fmt.Errorf("wire: transfer into %s: client has no admin token: %w", queueName, queue.ErrNotPrivileged)
+	}
+	d, buf, err := c.do(OpTransfer, queueName, 0, func(e *enc) {
+		e.str(c.p.opt.AdminToken)
+		e.u64(uint64(len(items)))
+		for _, it := range items {
+			e.bytes(it.Body)
+			e.i64(int64(it.Receives))
+		}
+	})
+	if err != nil {
+		if fb := c.fallback(err); fb != nil {
+			if tr, ok := fb.(queue.Transferrer); ok {
+				return tr.TransferInBatch(queueName, items)
+			}
+		}
+		return nil, err
+	}
+	ids := d.strs()
+	if err := c.finish(&d, buf); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}

@@ -1,0 +1,291 @@
+// Package wire implements the binary hot-path transport for the queue
+// service: a length-prefixed framing protocol plus a pipelined
+// connection-pool client (Client) and a listener-side server (Server),
+// both speaking the same queue.API the JSON/HTTP face exposes.
+//
+// # Frame layout
+//
+// Every frame — request or response — is one uvarint length prefix
+// followed by that many body bytes:
+//
+//	uvarint(len(body)) || body
+//	body = op(1) || uvarint(correlation id) || str(queue) || str(trace) || payload
+//	str  = uvarint(len) || bytes
+//
+// The correlation id pairs a response with its request so responses may
+// return out of order (pipelining); the trace string carries the same
+// request id the HTTP face moves in the X-Trace-Id header. The payload
+// is op-specific (see protocol.go). Response frames echo the request's
+// op and correlation id and carry a status byte first: 0 for success,
+// otherwise an error code that maps back to the queue package's
+// sentinel errors, followed by the error message.
+//
+// # Pipelining model
+//
+// A connection carries many requests concurrently: the client assigns
+// each call a fresh correlation id, one writer goroutine coalesces
+// frames into large writes, and one reader goroutine demultiplexes
+// responses to waiting callers by id. Long polls therefore do not
+// head-of-line block unrelated traffic on the same connection. The
+// server mirrors the pair — one reader spawning a handler per request,
+// one writer serializing responses — so a slow receive never stalls the
+// pipe.
+//
+// # When JSON, when wire
+//
+// The HTTP/JSON face stays authoritative for debuggability (curl-able,
+// human-readable, trace headers visible in any proxy log); the wire
+// face exists purely because per-request JSON encoding and HTTP framing
+// dominate the hot path at high shard counts. Components keep
+// programming against queue.API and pick a transport at deployment
+// time; shard.Router prefers a wire endpoint when the shard advertises
+// one and falls back to HTTP otherwise.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Request opcodes. A response frame reuses the opcode of the request it
+// answers.
+const (
+	OpCreateQueue byte = iota + 1
+	OpDeleteQueue
+	OpListQueues
+	OpSend
+	OpSendBatch
+	OpReceive
+	OpDelete
+	OpDeleteBatch
+	OpChangeVisibility
+	OpCount
+	OpPurge
+	OpRequests
+	OpRequestsFor
+	OpTransfer
+	opMax // one past the last valid opcode
+)
+
+// opNames label per-op telemetry series and error messages.
+var opNames = map[byte]string{
+	OpCreateQueue:      "create_queue",
+	OpDeleteQueue:      "delete_queue",
+	OpListQueues:       "list_queues",
+	OpSend:             "send",
+	OpSendBatch:        "send_batch",
+	OpReceive:          "receive",
+	OpDelete:           "delete",
+	OpDeleteBatch:      "delete_batch",
+	OpChangeVisibility: "change_visibility",
+	OpCount:            "count",
+	OpPurge:            "purge",
+	OpRequests:         "requests",
+	OpRequestsFor:      "requests_for",
+	OpTransfer:         "transfer",
+}
+
+// DefaultMaxFrame caps one frame's body. Queue bodies are task
+// descriptors, not blobs, so 16 MiB leaves two orders of magnitude of
+// headroom while bounding what a corrupt or hostile peer can make the
+// reader allocate.
+const DefaultMaxFrame = 16 << 20
+
+// Framing errors. ErrShortFrame reports a frame that declares more
+// bytes than are present — for a stream reader that simply means "read
+// more", for DecodeFrame on a finite buffer it is corruption.
+var (
+	ErrShortFrame   = errors.New("wire: truncated frame")
+	ErrFrameTooBig  = fmt.Errorf("wire: frame exceeds %d bytes", DefaultMaxFrame)
+	ErrCorruptFrame = errors.New("wire: corrupt frame")
+)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Op      byte
+	CorrID  uint64
+	Queue   string
+	Trace   string
+	Payload []byte
+}
+
+// AppendFrame appends f's wire encoding (length prefix included) to dst
+// and returns the extended slice.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	// Body is assembled after a reserved gap for the length prefix so
+	// encoding stays single-pass: write a maximal-width prefix, encode,
+	// then re-encode the true length over the gap... varints are not
+	// fixed width, so instead encode the body into the scratch region
+	// past len(dst) and prefix it explicitly.
+	body := encodeBody(nil, f)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+func encodeBody(dst []byte, f *Frame) []byte {
+	e := enc{b: dst}
+	e.byte(f.Op)
+	e.u64(f.CorrID)
+	e.str(f.Queue)
+	e.str(f.Trace)
+	e.b = append(e.b, f.Payload...)
+	return e.b
+}
+
+// EncodeFrame returns f's full wire encoding.
+func EncodeFrame(f Frame) []byte { return AppendFrame(nil, &f) }
+
+// DecodeFrame decodes one frame from the front of data, returning the
+// frame and the number of bytes consumed. Queue and Trace are copied
+// out; Payload aliases data and is only valid while data is. Truncated,
+// oversized, or garbage input returns an error without panicking and
+// without reading past len(data).
+func DecodeFrame(data []byte) (Frame, int, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return Frame{}, 0, ErrShortFrame
+	}
+	if n > DefaultMaxFrame {
+		return Frame{}, 0, ErrFrameTooBig
+	}
+	if uint64(len(data)-used) < n {
+		return Frame{}, 0, ErrShortFrame
+	}
+	f, err := parseBody(data[used : used+int(n)])
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	return f, used + int(n), nil
+}
+
+// parseBody decodes a frame body (everything after the length prefix).
+func parseBody(body []byte) (Frame, error) {
+	d := dec{b: body}
+	f := Frame{Op: d.byte(), CorrID: d.u64()}
+	f.Queue = d.str()
+	f.Trace = d.str()
+	f.Payload = d.rest()
+	if d.err != nil {
+		return Frame{}, d.err
+	}
+	if f.Op == 0 || f.Op >= opMax {
+		return Frame{}, fmt.Errorf("%w: unknown op %d", ErrCorruptFrame, f.Op)
+	}
+	return f, nil
+}
+
+// enc builds frame payloads. Its buffer comes from the shared pool;
+// callers release it with putBuf after the bytes are on the wire.
+type enc struct{ b []byte }
+
+func (e *enc) byte(c byte)    { e.b = append(e.b, c) }
+func (e *enc) u64(v uint64)   { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)    { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) bytes(p []byte) { e.u64(uint64(len(p))); e.b = append(e.b, p...) }
+func (e *enc) str(s string)   { e.u64(uint64(len(s))); e.b = append(e.b, s...) }
+
+// dec consumes frame payloads. The first malformed field latches err
+// and every later read returns a zero value, so call sites stay linear
+// and check err once at the end. Declared lengths are validated against
+// the remaining bytes before any slice is taken, so garbage cannot
+// cause an over-read or an allocation bomb.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = ErrCorruptFrame
+	}
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	c := d.b[0]
+	d.b = d.b[1:]
+	return c
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// len reads a collection count and bounds it by the bytes remaining
+// (each element costs at least one byte), rejecting length bombs.
+func (d *dec) len() int {
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.b)) {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+// bytes returns the next length-prefixed field aliasing the underlying
+// buffer; callers that outlive the buffer must copy.
+func (d *dec) bytes() []byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	p := d.b[:n:n]
+	d.b = d.b[n:]
+	return p
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+func (d *dec) rest() []byte {
+	p := d.b
+	d.b = nil
+	return p
+}
+
+// bufPool recycles frame scratch buffers across requests — the
+// low-alloc receive path. Buffers above keepBuf bytes are dropped
+// rather than pooled so one giant frame does not pin memory forever.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+const keepBuf = 1 << 20
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if cap(*b) > keepBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
