@@ -113,6 +113,7 @@ func experiments() []experiment {
 		{"broker", "Elastic broker live run: autoscaling and cost vs fixed fleet", brokerLive},
 		{"queuebench", "Queue core throughput baseline (writes BENCH_queue.json)", queueBench},
 		{"queueshard", "Sharded queue front scaling curve (writes BENCH_shard.json)", queueShard},
+		{"queueskew", "Hot-group splitting on a Zipf-skewed workload (writes BENCH_skew.json)", queueSkew},
 		{"queuewire", "Wire vs HTTP transport on the shard curve (writes BENCH_wire.json)", queueWire},
 		{"brokerrecover", "Broker journal replay and append overhead (writes BENCH_broker.json)", brokerRecover},
 	}
@@ -481,11 +482,17 @@ func queueBench() {
 	// The raw registry, exactly as a daemon's /metrics would serve it —
 	// kept as a CI artifact (not a gated baseline) so a regression
 	// investigation starts from the full histograms, not two percentiles.
-	if err := os.WriteFile("BENCH_metrics.prom", reg.RenderProm(), 0o644); err != nil {
+	// It lives under bench-artifacts/ (gitignored), never at the repo
+	// root: only gated BENCH_*.json baselines are committed.
+	if err := os.MkdirAll("bench-artifacts", 0o755); err != nil {
 		fail(err)
 		return
 	}
-	fmt.Println("telemetry snapshot written to BENCH_metrics.prom")
+	if err := os.WriteFile("bench-artifacts/BENCH_metrics.prom", reg.RenderProm(), 0o644); err != nil {
+		fail(err)
+		return
+	}
+	fmt.Println("telemetry snapshot written to bench-artifacts/BENCH_metrics.prom")
 }
 
 // shardPoint is one shard count on the scaling curve.
@@ -768,6 +775,278 @@ func queueShard() {
 		return
 	}
 	fmt.Println("baseline written to BENCH_shard.json")
+}
+
+// skewBenchReport is the BENCH_skew.json schema: what the load-aware
+// ring buys on a Zipf-skewed workload — one hot job among many cold
+// ones. The pinned run is the pre-split world (all of the hot group's
+// queues on ONE shard, the placement-group guarantee working against
+// the workload); the split run lets the shard autoscaler's policy
+// observe the skew and fan the hot group out across sub-arcs.
+type skewBenchReport struct {
+	Shards               int     `json:"shards"`
+	ServiceConcurrency   int     `json:"service_concurrency"`
+	ModeledServiceTimeMs float64 `json:"modeled_service_time_ms"`
+	HotQueues            int     `json:"hot_queues"`
+	WorkersPerHotQueue   int     `json:"workers_per_hot_queue"`
+	ColdJobs             int     `json:"cold_jobs"`
+	// PinnedRequestsPerSec / SplitRequestsPerSec are the same skewed
+	// workload with the hot group pinned to one shard versus split by
+	// the autoscaler; SkewSpeedup is their ratio, the number hot-group
+	// splitting exists to move.
+	PinnedRequestsPerSec float64 `json:"pinned_requests_per_sec"`
+	SplitRequestsPerSec  float64 `json:"split_requests_per_sec"`
+	SkewSpeedup          float64 `json:"skew_speedup"`
+	// HotSubgroups / HotShards describe the fan-out the policy reached
+	// during warmup (informational: the doubling schedule can stop a
+	// step early on a slow machine).
+	HotSubgroups float64 `json:"hot_subgroups"`
+	HotShards    float64 `json:"hot_shards_after_split"`
+	// SplitFired (1) and PinnedSplits (0) are exact-gated invariants:
+	// the policy must split the unpinned hot group and must respect the
+	// pin opt-out.
+	SplitFired   float64 `json:"hot_split_fired_exact"`
+	PinnedSplits float64 `json:"pinned_split_count_exact"`
+	// ProbeDeliveries is the delivery count a probe message shows after
+	// being received once, then migrated by the split AND the merge
+	// back: exactly 2 (1 prior receive + the final one) proves the
+	// drains carried counts instead of resetting them.
+	ProbeDeliveries float64 `json:"probe_delivery_count_exact"`
+}
+
+// queueSkew measures hot-group splitting end to end: a Zipf-skewed
+// workload (one job with 16 heavily-loaded queues, 63 jobs with one
+// lightly-loaded queue each) against 8 capacity-throttled shards,
+// pinned versus autoscaler-split, with the split/merge lifecycle and
+// count preservation checked along the way. Results go to
+// BENCH_skew.json; the speedup is the gated headline.
+func queueSkew() {
+	rep := skewBenchReport{
+		Shards:               8,
+		ServiceConcurrency:   16,
+		ModeledServiceTimeMs: 1,
+		HotQueues:            16,
+		WorkersPerHotQueue:   8,
+		ColdJobs:             63,
+	}
+	const (
+		cyclesPerWorker = 20
+		coldCycles      = 5
+		probes          = 4
+		probeVisibility = 30 * time.Millisecond
+	)
+
+	hotQueue := func(q int) string { return fmt.Sprintf("hot/q%d", q) }
+
+	runSkew := func(pinned bool) (rps float64, subgroups, hotShards, probeReceives int, err error) {
+		router := shard.NewRouter(shard.Config{})
+		defer router.Close()
+		for i := 0; i < rep.Shards; i++ {
+			svc := queue.NewService(queue.Config{
+				Seed:               int64(i + 1),
+				ServiceTime:        time.Duration(rep.ModeledServiceTimeMs * float64(time.Millisecond)),
+				ServiceConcurrency: rep.ServiceConcurrency,
+			})
+			if err := router.AddShard(fmt.Sprintf("s%d", i), svc); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+		for q := 0; q < rep.HotQueues; q++ {
+			if err := router.CreateQueue(hotQueue(q)); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+		if err := router.CreateQueue("hot/probe"); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		for j := 0; j < rep.ColdJobs; j++ {
+			if err := router.CreateQueue(fmt.Sprintf("cold-%d/q", j)); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+		if pinned {
+			if err := router.PinGroup("hot", true); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+
+		// Probe messages ride through every later migration: received
+		// once now, left to expire, so the split's drain transfers them
+		// carrying a non-zero delivery count.
+		for i := 0; i < probes; i++ {
+			if _, err := router.SendMessage("hot/probe", []byte(fmt.Sprintf("p%d", i))); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+		for got := 0; got < probes; {
+			_, ok, err := router.ReceiveMessage("hot/probe", probeVisibility)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			if ok {
+				got++
+			}
+		}
+		time.Sleep(2 * probeVisibility) // leases lapse; probes visible again
+
+		worker := func(wg *sync.WaitGroup, qn string, cycles int) {
+			defer wg.Done()
+			for i := 0; i < cycles; i++ {
+				router.SendMessage(qn, []byte("task"))
+				m, ok, _ := router.ReceiveMessageWait(qn, time.Hour, 50*time.Millisecond)
+				if ok {
+					router.DeleteMessage(qn, m.ReceiptHandle)
+				}
+			}
+		}
+
+		// Warmup: drive skewed load and tick the autoscaler until its
+		// policy has fanned the hot group out (or, pinned, until it has
+		// had every chance to misbehave). The fleet is clamped to the 8
+		// shards so this experiment isolates splitting.
+		auto := shard.NewAutoscaler(router, shard.AutoscalerConfig{Policy: shard.AutoscalePolicy{
+			MinShards:          rep.Shards,
+			MaxShards:          rep.Shards,
+			TargetRatePerShard: 50_000,
+			SplitRate:          2000,
+			MaxSubgroups:       8,
+			SplitCooldown:      time.Millisecond,
+			Window:             2,
+		}})
+		defer auto.Close()
+		for round := 0; round < 8; round++ {
+			var wg sync.WaitGroup
+			for q := 0; q < rep.HotQueues; q++ {
+				wg.Add(1)
+				go worker(&wg, hotQueue(q), 10)
+			}
+			wg.Wait()
+			auto.Tick(time.Now())
+			if router.Splits()["hot"] >= 8 {
+				break
+			}
+		}
+		subgroups = router.Splits()["hot"]
+		if subgroups == 0 {
+			subgroups = 1
+		}
+		seen := map[string]bool{}
+		for qn, owner := range router.Owners() {
+			if strings.HasPrefix(qn, "hot/") {
+				seen[owner] = true
+			}
+		}
+		hotShards = len(seen)
+		if pinned && len(router.Splits()) != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("policy split pinned group: %v", router.Splits())
+		}
+		if !pinned && subgroups < 2 {
+			return 0, 0, 0, 0, fmt.Errorf("policy never split the hot group (splits %v)", router.Splits())
+		}
+
+		// Measured phase: pure load, no policy ticks, so both variants
+		// run the identical request stream against a stable topology.
+		baseReq := router.APIRequests()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for q := 0; q < rep.HotQueues; q++ {
+			for w := 0; w < rep.WorkersPerHotQueue; w++ {
+				wg.Add(1)
+				go worker(&wg, hotQueue(q), cyclesPerWorker)
+			}
+		}
+		for j := 0; j < rep.ColdJobs; j++ {
+			wg.Add(1)
+			go worker(&wg, fmt.Sprintf("cold-%d/q", j), coldCycles)
+		}
+		wg.Wait()
+		rps = float64(router.APIRequests()-baseReq) / time.Since(start).Seconds()
+
+		// Cooldown: quiet ticks must merge the split group back under
+		// hysteresis (probes alone are far below the merge watermark).
+		for round := 0; round < 10 && len(router.Splits()) > 0; round++ {
+			time.Sleep(10 * time.Millisecond)
+			auto.Tick(time.Now())
+		}
+		if len(router.Splits()) != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("split groups never merged back: %v", router.Splits())
+		}
+
+		// The probes migrated out with the split and home with the
+		// merge; their delivery counts must have ridden along.
+		for got := 0; got < probes; {
+			m, ok, err := router.ReceiveMessage("hot/probe", time.Hour)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			if !ok {
+				return 0, 0, 0, 0, fmt.Errorf("probe message lost across split/merge (got %d of %d)", got, probes)
+			}
+			if probeReceives == 0 || m.Receives < probeReceives {
+				probeReceives = m.Receives
+			}
+			if m.Receives != 2 {
+				return 0, 0, 0, 0, fmt.Errorf("probe delivery count %d after split+merge, want 2 (count reset in transit?)", m.Receives)
+			}
+			got++
+		}
+		return rps, subgroups, hotShards, probeReceives, nil
+	}
+
+	// Best of 2 per variant, like the shard curve: one descheduled run
+	// must not poison a committed gate.
+	best := func(pinned bool) (rps float64, subgroups, hotShards, probeReceives int, err error) {
+		for run := 0; run < 2; run++ {
+			r, s, h, p, e := runSkew(pinned)
+			if e != nil {
+				return 0, 0, 0, 0, e
+			}
+			if r > rps {
+				rps, subgroups, hotShards, probeReceives = r, s, h, p
+			}
+		}
+		return rps, subgroups, hotShards, probeReceives, nil
+	}
+
+	pinnedRPS, _, _, _, err := best(true)
+	if err != nil {
+		fail(err)
+		return
+	}
+	splitRPS, subgroups, hotShards, probeReceives, err := best(false)
+	if err != nil {
+		fail(err)
+		return
+	}
+	rep.PinnedRequestsPerSec = pinnedRPS
+	rep.SplitRequestsPerSec = splitRPS
+	rep.SkewSpeedup = splitRPS / pinnedRPS
+	rep.HotSubgroups = float64(subgroups)
+	rep.HotShards = float64(hotShards)
+	rep.SplitFired = 1
+	rep.PinnedSplits = 0
+	rep.ProbeDeliveries = float64(probeReceives)
+
+	fmt.Printf("workload: 1 hot job (%d queues × %d workers) + %d cold jobs, %d shards of %d×%.0fms slots\n",
+		rep.HotQueues, rep.WorkersPerHotQueue, rep.ColdJobs, rep.Shards, rep.ServiceConcurrency, rep.ModeledServiceTimeMs)
+	fmt.Printf("pinned (1 shard for the hot group): %10.0f req/s\n", rep.PinnedRequestsPerSec)
+	fmt.Printf("split  (%d sub-arcs over %d shards): %10.0f req/s\n", subgroups, hotShards, rep.SplitRequestsPerSec)
+	fmt.Printf("speedup: %.2fx   probe delivery count after split+merge: %d\n", rep.SkewSpeedup, probeReceives)
+	if rep.SkewSpeedup < 2.5 {
+		fail(fmt.Errorf("skew speedup %.2fx below the 2.5x acceptance floor", rep.SkewSpeedup))
+		return
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := os.WriteFile("BENCH_skew.json", append(data, '\n'), 0o644); err != nil {
+		fail(err)
+		return
+	}
+	fmt.Println("baseline written to BENCH_skew.json")
 }
 
 // wirePoint is one shard count measured over both transports.

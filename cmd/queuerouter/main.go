@@ -23,7 +23,9 @@
 //
 // Admin API:
 //
-//	GET    /admin/shards               placement and billing per shard
+//	GET    /admin/shards               {"shards":[…],"groups":[…],"splits":{…},
+//	                                   "autoscale":{…}} — placement, billing,
+//	                                   load, weights, and policy status
 //	PUT    /admin/shards/{id}?url=U    add a shard (migrates ≈1/N of queue groups)
 //	DELETE /admin/shards/{id}          retire a shard (migrates its queues)
 //	POST   /admin/rebalance            retry migrations the ring implies
@@ -31,6 +33,18 @@
 //	POST   /admin/regroup?prefix=P&group=G bulk-move every live queue whose
 //	                                       name starts with P (returns
 //	                                       {"matched": N})
+//	POST   /admin/split?group=G&k=N    spread group G over N sub-arcs (k=1
+//	                                   merges it back onto one shard)
+//	POST   /admin/split?group=G&pin=true   opt G out of splitting (strict
+//	                                       co-location; pin=false re-admits it)
+//
+// Load-aware operation: -autoscale enables the router-side shard-fleet
+// policy (internal/queue/shard.AutoscalePolicy) — it splits hot
+// placement groups across sub-arcs past -split-threshold, weights ring
+// arcs toward equal observed load, and grows/shrinks the fleet between
+// -autoscale-min and -autoscale-max using pre-provisioned
+// -autoscale-reserve shards first, then (with -local) fresh in-process
+// shards.
 //
 // Observability:
 //
@@ -68,6 +82,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/queue"
@@ -113,9 +129,21 @@ func dialShard(url, token string, reg *telemetry.Registry) (queue.API, string) {
 type adminHandler struct {
 	router  *shard.Router
 	metrics *telemetry.Registry
+	// auto is the shard-fleet autoscaler when -autoscale is set; its
+	// status rides along on GET /admin/shards.
+	auto *shard.Autoscaler
 	// transferToken authorizes shards added at runtime for
 	// count-preserving transfers.
 	transferToken string
+}
+
+// adminShardsView is the GET /admin/shards response: both placement
+// axes plus the live policy state.
+type adminShardsView struct {
+	Shards    []shard.ShardStat      `json:"shards"`
+	Groups    []shard.GroupStat      `json:"groups"`
+	Splits    map[string]int         `json:"splits"`
+	Autoscale *shard.AutoscaleStatus `json:"autoscale,omitempty"`
 }
 
 func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -174,6 +202,52 @@ func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	if r.URL.Path == "/admin/split" {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		group := r.URL.Query().Get("group")
+		if group == "" {
+			http.Error(w, "shard: missing group parameter", http.StatusBadRequest)
+			return
+		}
+		if pinStr := r.URL.Query().Get("pin"); pinStr != "" {
+			pin, err := strconv.ParseBool(pinStr)
+			if err != nil {
+				http.Error(w, "shard: bad pin parameter", http.StatusBadRequest)
+				return
+			}
+			if err := h.router.PinGroup(group, pin); err != nil {
+				if errors.Is(err, shard.ErrBadGroup) {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+				} else {
+					http.Error(w, err.Error(), http.StatusBadGateway)
+				}
+				return
+			}
+			log.Printf("queuerouter: group %q pinned=%v", group, pin)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		k, err := strconv.Atoi(r.URL.Query().Get("k"))
+		if err != nil {
+			http.Error(w, "shard: bad or missing k parameter", http.StatusBadRequest)
+			return
+		}
+		if err := h.router.SplitGroup(group, k); err != nil {
+			switch {
+			case errors.Is(err, shard.ErrBadGroup), errors.Is(err, shard.ErrBadSplit), errors.Is(err, shard.ErrGroupPinned):
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			default:
+				http.Error(w, err.Error(), http.StatusBadGateway)
+			}
+			return
+		}
+		log.Printf("queuerouter: group %q split to %d sub-arc(s)", group, k)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	rest, ok := strings.CutPrefix(r.URL.Path, "/admin/shards")
 	if !ok {
 		http.NotFound(w, r)
@@ -182,8 +256,17 @@ func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rest = strings.TrimPrefix(rest, "/")
 	switch {
 	case rest == "" && r.Method == http.MethodGet:
+		view := adminShardsView{
+			Shards: h.router.Stats(),
+			Groups: h.router.GroupStats(),
+			Splits: h.router.Splits(),
+		}
+		if h.auto != nil {
+			st := h.auto.Status()
+			view.Autoscale = &st
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(h.router.Stats())
+		_ = json.NewEncoder(w).Encode(view)
 	case rest != "" && r.Method == http.MethodPut:
 		url := r.URL.Query().Get("url")
 		if url == "" {
@@ -222,6 +305,16 @@ func main() {
 	slow := flag.Duration("slow", 0,
 		"log requests slower than this, keyed by X-Trace-Id (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	autoscale := flag.Bool("autoscale", false,
+		"enable the shard-fleet autoscaler: split hot groups, weight ring arcs by load, and add/remove shards from the reserve (then in-process spawns with -local)")
+	splitThreshold := flag.Float64("split-threshold", 0,
+		"group request rate (req/s) past which the autoscaler splits it across sub-arcs (0 = policy default)")
+	autoMin := flag.Int("autoscale-min", 0, "autoscaler fleet floor (0 = the starting fleet)")
+	autoMax := flag.Int("autoscale-max", 0, "autoscaler fleet cap (0 = policy default)")
+	autoTarget := flag.Float64("autoscale-target", 0,
+		"request rate one shard is provisioned for, the fleet-utilization denominator (0 = policy default)")
+	autoReserve := flag.String("autoscale-reserve", "",
+		"pre-provisioned shards the autoscaler may bring onto the ring, as id=url pairs (consumed in order before any in-process spawn)")
 	flag.Parse()
 
 	remotes, err := parseShards(*shardsFlag)
@@ -258,6 +351,47 @@ func main() {
 		log.Printf("queuerouter: shard %q (in-process)", id)
 	}
 
+	var auto *shard.Autoscaler
+	if *autoscale {
+		minShards := *autoMin
+		if minShards <= 0 {
+			minShards = len(router.Shards())
+		}
+		reserves, err := parseShards(*autoReserve)
+		if err != nil {
+			log.Fatalf("queuerouter: -autoscale-reserve: %v", err)
+		}
+		var reserve []shard.ReserveShard
+		for _, id := range sortedStringKeys(reserves) {
+			backend, desc := dialShard(reserves[id], presentToken, reg)
+			reserve = append(reserve, shard.ReserveShard{ID: id, Backend: backend})
+			log.Printf("queuerouter: reserve shard %q -> %s", id, desc)
+		}
+		var factory shard.ShardFactory
+		if *local > 0 {
+			// Local mode can mint capacity on demand; a remote-only
+			// deployment scales within its provisioned reserve.
+			factory = func(id string) (queue.API, error) {
+				return queue.NewService(queue.Config{Metrics: reg, MetricsName: id}), nil
+			}
+		}
+		auto = shard.NewAutoscaler(router, shard.AutoscalerConfig{
+			Policy: shard.AutoscalePolicy{
+				MinShards:          minShards,
+				MaxShards:          *autoMax,
+				TargetRatePerShard: *autoTarget,
+				SplitRate:          *splitThreshold,
+			},
+			Reserve: reserve,
+			Factory: factory,
+			Metrics: reg,
+		})
+		auto.Start()
+		defer auto.Close()
+		log.Printf("queuerouter: autoscaler enabled (min %d, reserve %d, local spawn %v)",
+			minShards, len(reserve), factory != nil)
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	if *pprofOn {
@@ -268,7 +402,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		log.Printf("queuerouter: pprof enabled on /debug/pprof/")
 	}
-	mux.Handle("/admin/", &adminHandler{router: router, metrics: reg, transferToken: presentToken})
+	mux.Handle("/admin/", &adminHandler{router: router, metrics: reg, auto: auto, transferToken: presentToken})
 	qh := &queue.HTTPHandler{
 		Service:     router,
 		AdminTokens: tokens,
@@ -294,6 +428,17 @@ func main() {
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// sortedStringKeys orders a map's keys so reserve shards join the ring
+// in a stable order across restarts.
+func sortedStringKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // splitTokens decodes the comma-separated -transfer-token list, dropping

@@ -17,22 +17,29 @@ import (
 var fuzzPool = [8]string{"fz0", "fz1", "fz2", "fz3", "fz4", "fz5", "fz6", "fz7"}
 
 // applyOps interprets one fuzz byte per op: low bits pick the shard,
-// the high bit picks add versus remove. It returns the ring and the
-// membership implied by replaying the ops.
-func applyOps(vnodes int, ops []byte) (*ring, map[string]bool) {
+// the high bit picks add versus remove, and on add the middle nibble
+// sets a weight in [0.25, 4] — so fuzzed topologies exercise weighted
+// arcs, not just the uniform default. It returns the ring plus the
+// membership and final weights implied by replaying the ops.
+func applyOps(vnodes int, ops []byte) (*ring, map[string]bool, map[string]float64) {
 	r := newRing(vnodes)
 	members := map[string]bool{}
+	weights := map[string]float64{}
 	for _, op := range ops {
 		id := fuzzPool[op&0x07]
 		if op&0x80 == 0 {
 			r.add(id)
+			w := float64((op>>3)&0x0F+1) / 4
+			r.setWeight(id, w)
 			members[id] = true
+			weights[id] = w
 		} else {
 			r.remove(id)
 			delete(members, id)
+			delete(weights, id)
 		}
 	}
-	return r, members
+	return r, members, weights
 }
 
 // FuzzRingRoute checks the three routing invariants under arbitrary
@@ -46,16 +53,22 @@ func applyOps(vnodes int, ops []byte) (*ring, map[string]bool) {
 //  3. Grouped names co-route with their group key: the ring itself is
 //     name-agnostic, so owner(DeriveGroup(name)) must be stable however
 //     the name is decorated with group segments.
+//  4. Sub-arc placement holds its contract on weighted rings: every
+//     successor is a live member, the first min(k, members) successors
+//     are pairwise distinct shards (the spread guarantee hot-group
+//     splitting rests on), and subgroupIndex is a stable in-range
+//     function of the name alone.
 func FuzzRingRoute(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3}, "job-1/tasks")
 	f.Add([]byte{0, 0x81, 1, 2, 0x82}, "job-2/monitor")
 	f.Add([]byte{7, 6, 5, 0x87, 0x86}, "plain-queue")
+	f.Add([]byte{0x38, 0x09, 0x7A, 3}, "weighted-arcs")
 	f.Add([]byte{}, "empty-ring")
 	f.Fuzz(func(t *testing.T, ops []byte, key string) {
 		if len(ops) > 64 {
 			ops = ops[:64]
 		}
-		r, members := applyOps(16, ops)
+		r, members, weights := applyOps(16, ops)
 
 		owner, ok := r.owner(key)
 		if ok != (len(members) > 0) {
@@ -68,7 +81,9 @@ func FuzzRingRoute(f *testing.F) {
 			t.Fatalf("key %q routed to %q, not a live member of %v", key, owner, members)
 		}
 
-		// Rebuild from the final membership, in two different orders.
+		// Rebuild from the final membership and weights, in two different
+		// orders: independent processes must route alike however their
+		// view of the topology was assembled.
 		ids := make([]string, 0, len(members))
 		for id := range members {
 			ids = append(ids, id)
@@ -77,10 +92,12 @@ func FuzzRingRoute(f *testing.F) {
 		fwd := newRing(16)
 		for _, id := range ids {
 			fwd.add(id)
+			fwd.setWeight(id, weights[id])
 		}
 		rev := newRing(16)
 		for i := len(ids) - 1; i >= 0; i-- {
 			rev.add(ids[i])
+			rev.setWeight(ids[i], weights[ids[i]])
 		}
 		fo, _ := fwd.owner(key)
 		ro, _ := rev.owner(key)
@@ -95,6 +112,39 @@ func FuzzRingRoute(f *testing.F) {
 			if go1, _ := r.owner(DeriveGroup(grouped)); go1 != owner {
 				t.Fatalf("grouped name %q routes to %q, its group key %q to %q", grouped, go1, key, owner)
 			}
+		}
+
+		// Sub-arc derivation: in range, stable, and name-only.
+		for _, k := range []int{2, 8, maxSubgroups} {
+			i := subgroupIndex(grouped, k)
+			if i < 0 || i >= k {
+				t.Fatalf("subgroupIndex(%q, %d) = %d out of range", grouped, k, i)
+			}
+			if j := subgroupIndex(grouped, k); j != i {
+				t.Fatalf("subgroupIndex(%q, %d) unstable: %d then %d", grouped, k, i, j)
+			}
+		}
+
+		// The successor walk: sub-arc i of the key must land on a live
+		// member, identically across rebuilds, and the first len(members)
+		// sub-arcs must be pairwise distinct shards.
+		distinct := map[string]bool{}
+		for i := 0; i < len(members); i++ {
+			s, sok := r.successor(key, i)
+			if !sok || !members[s] {
+				t.Fatalf("successor(%q, %d) = %q ok=%v, not a live member of %v", key, i, s, sok, members)
+			}
+			if fs, _ := fwd.successor(key, i); fs != s {
+				t.Fatalf("successor(%q, %d) not deterministic across rebuilds: %q vs %q", key, i, s, fs)
+			}
+			if distinct[s] {
+				t.Fatalf("successor(%q, %d) repeats shard %q — sub-arcs would collapse", key, i, s)
+			}
+			distinct[s] = true
+		}
+		// Index i wraps modulo the member count.
+		if s, _ := r.successor(key, len(members)); s != owner {
+			t.Fatalf("successor(%q, members) = %q, want wrap to owner %q", key, s, owner)
 		}
 	})
 }
@@ -165,5 +215,24 @@ func TestFuzzSeedsPass(t *testing.T) {
 		if a == "" || a != b {
 			t.Fatalf("seed-%d split across %q and %q", i, a, b)
 		}
+	}
+
+	// Splitting re-derives per sub-arc: queues sharing a sub-arc index
+	// still co-route, and merging restores full group co-location.
+	if err := r.SplitGroup("seed-0", 4); err != nil {
+		t.Fatal(err)
+	}
+	owners = r.Owners()
+	ta, mo := owners["seed-0/tasks"], owners["seed-0/monitor"]
+	if subgroupIndex("seed-0/tasks", 4) == subgroupIndex("seed-0/monitor", 4) && ta != mo {
+		t.Fatalf("same sub-arc routed apart: tasks=%q monitor=%q", ta, mo)
+	}
+	if err := r.MergeGroup("seed-0"); err != nil {
+		t.Fatal(err)
+	}
+	owners = r.Owners()
+	if owners["seed-0/tasks"] != owners["seed-0/monitor"] {
+		t.Fatalf("merge did not restore co-location: tasks=%q monitor=%q",
+			owners["seed-0/tasks"], owners["seed-0/monitor"])
 	}
 }

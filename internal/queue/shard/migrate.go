@@ -76,7 +76,7 @@ func (r *Router) pendingMovesLocked() []pendingMove {
 		rt.mu.Lock()
 		cur, group := rt.shard, rt.group
 		rt.mu.Unlock()
-		owner, ok := r.ring.owner(effectiveGroup(group, name))
+		owner, ok := r.ringOwnerLocked(group, name)
 		if !ok {
 			continue
 		}
@@ -112,6 +112,66 @@ func (r *Router) Rebalance() error {
 	r.topoMu.Lock()
 	defer r.topoMu.Unlock()
 	r.mu.Lock()
+	moves := r.pendingMovesLocked()
+	r.mu.Unlock()
+	return r.runMoves(moves)
+}
+
+// SplitGroup re-derives a placement group's queues across k sub-arcs:
+// each queue is deterministically assigned one sub-arc by hashing its
+// name (subgroupIndex), and sub-arc i lives on the i-th distinct ring
+// successor of the group's hash, so a hot group's traffic spreads over
+// min(k, shards) shards while every individual queue — and its
+// receipts and in-flight messages — stays on exactly one shard. Queues
+// whose sub-arc lands them elsewhere migrate through the same
+// count-preserving drain-and-forward machinery topology changes use.
+// k = 1 merges the group back onto its single arc (the hysteresis
+// path). Idempotent: re-splitting at the current k re-runs only the
+// migrations that previously failed, like Rebalance.
+func (r *Router) SplitGroup(group string, k int) error {
+	if group == "" || strings.Contains(group, groupSep) {
+		return fmt.Errorf("%w: %q", ErrBadGroup, group)
+	}
+	if k < 1 || k > maxSubgroups {
+		return fmt.Errorf("%w: %d", ErrBadSplit, k)
+	}
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	r.mu.Lock()
+	if k > 1 && r.pinned[group] {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrGroupPinned, group)
+	}
+	if k <= 1 {
+		delete(r.splits, group)
+	} else {
+		r.splits[group] = k
+	}
+	moves := r.pendingMovesLocked()
+	r.mu.Unlock()
+	return r.runMoves(moves)
+}
+
+// MergeGroup collapses a split group back onto its single ring arc,
+// migrating its queues home. A no-op (and nil) for an unsplit group.
+func (r *Router) MergeGroup(group string) error { return r.SplitGroup(group, 1) }
+
+// PinGroup opts a group out of (or back into) hot-group splitting.
+// Pinning an already-split group merges it first: a job that needs
+// strict co-location needs it NOW, not at the next policy tick.
+func (r *Router) PinGroup(group string, pin bool) error {
+	if group == "" || strings.Contains(group, groupSep) {
+		return fmt.Errorf("%w: %q", ErrBadGroup, group)
+	}
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	r.mu.Lock()
+	if pin {
+		r.pinned[group] = true
+		delete(r.splits, group)
+	} else {
+		delete(r.pinned, group)
+	}
 	moves := r.pendingMovesLocked()
 	r.mu.Unlock()
 	return r.runMoves(moves)
@@ -153,7 +213,7 @@ func (r *Router) Regroup(queueName, group string) error {
 	rt.group = group
 	cur := rt.shard
 	rt.mu.Unlock()
-	owner, ok := r.ring.owner(effectiveGroup(group, queueName))
+	owner, ok := r.ringOwnerLocked(group, queueName)
 	r.mu.Unlock()
 	if !ok {
 		return ErrNoShards
@@ -204,7 +264,7 @@ func (r *Router) RegroupPrefix(prefix, group string) (int, error) {
 		cur := rt.shard
 		rt.mu.Unlock()
 		matched++
-		owner, ok := r.ring.owner(effectiveGroup(group, name))
+		owner, ok := r.ringOwnerLocked(group, name)
 		if !ok {
 			// Unreachable while routes exist (the last owning shard
 			// cannot be removed), but don't migrate on a broken ring.

@@ -12,6 +12,14 @@
 // an N-shard ring moves only ~1/(N+1) of the groups, all of them onto
 // the new shard.
 //
+// Arcs are weighted: a shard's share of the key space scales with its
+// weight (default 1.0), set from observed load so Rebalance converges
+// toward equal load rather than equal key space. A shard's virtual
+// nodes are the prefix "id#0..id#(n-1)" of one deterministic sequence,
+// so raising a weight only adds points and lowering it only removes
+// them — weight changes move the minimal set of groups, the same
+// property shard adds have.
+//
 // # Placement groups
 //
 // The ring hashes DeriveGroup(name) — the prefix before the first '/',
@@ -56,21 +64,34 @@ import (
 	"sort"
 )
 
+// Weight bounds: a shard can hold at most 16x and at least 1/16 of its
+// fair share. Wider ratios would let a runaway load estimate starve a
+// shard to a single virtual node (terrible balance) or balloon the
+// point list.
+const (
+	minWeight = 1.0 / 16
+	maxWeight = 16.0
+)
+
 // ring is a consistent-hash ring over shard ids. It is not
 // concurrency-safe; the Router guards it.
 type ring struct {
-	vnodes int
-	points []ringPoint // sorted by hash
-	ids    map[string]bool
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	ids     map[string]bool
+	weights map[string]float64
 }
 
 type ringPoint struct {
 	hash  uint64
 	shard string
+	// index is the point's position in the shard's deterministic
+	// "id#v" sequence; weight changes trim or extend by index.
+	index int
 }
 
 func newRing(vnodes int) *ring {
-	return &ring{vnodes: vnodes, ids: make(map[string]bool)}
+	return &ring{vnodes: vnodes, ids: make(map[string]bool), weights: make(map[string]float64)}
 }
 
 func hash64(s string) uint64 {
@@ -92,15 +113,93 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// add registers a shard's virtual nodes.
+// clampWeight pins a weight into [minWeight, maxWeight]; NaN and
+// non-positive values reset to 1 rather than silently emptying a
+// shard's arc.
+func clampWeight(w float64) float64 {
+	if !(w > 0) { // catches NaN too
+		return 1
+	}
+	if w < minWeight {
+		return minWeight
+	}
+	if w > maxWeight {
+		return maxWeight
+	}
+	return w
+}
+
+// pointCount is the number of virtual nodes a weight buys: the
+// configured vnodes scaled by the weight, never below one (a live
+// shard always owns some arc).
+func (r *ring) pointCount(w float64) int {
+	n := int(float64(r.vnodes)*w + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// add registers a shard's virtual nodes at weight 1.
 func (r *ring) add(id string) {
 	if r.ids[id] {
 		return
 	}
 	r.ids[id] = true
-	for v := 0; v < r.vnodes; v++ {
-		r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", id, v)), id})
+	r.weights[id] = 1
+	r.appendPoints(id, r.pointCount(1))
+	r.sortPoints()
+}
+
+// setWeight rescales a shard's arc. The shard's points are the prefix
+// of one deterministic "id#v" sequence, so the rebuild keeps every
+// point the old and new counts share — only the difference moves
+// groups. Reports whether the point count actually changed.
+func (r *ring) setWeight(id string, w float64) bool {
+	if !r.ids[id] {
+		return false
 	}
+	w = clampWeight(w)
+	oldN := r.pointCount(r.weights[id])
+	newN := r.pointCount(w)
+	r.weights[id] = w
+	if newN == oldN {
+		return false
+	}
+	if newN < oldN {
+		kept := r.points[:0]
+		for _, p := range r.points {
+			if p.shard == id && p.index >= newN {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		r.points = kept
+		return true
+	}
+	for v := oldN; v < newN; v++ {
+		r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", id, v)), id, v})
+	}
+	r.sortPoints()
+	return true
+}
+
+// weight returns a shard's current weight (0 for a shard not on the
+// ring).
+func (r *ring) weight(id string) float64 {
+	if !r.ids[id] {
+		return 0
+	}
+	return r.weights[id]
+}
+
+func (r *ring) appendPoints(id string, n int) {
+	for v := 0; v < n; v++ {
+		r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", id, v)), id, v})
+	}
+}
+
+func (r *ring) sortPoints() {
 	sort.Slice(r.points, func(i, j int) bool {
 		if r.points[i].hash != r.points[j].hash {
 			return r.points[i].hash < r.points[j].hash
@@ -115,6 +214,7 @@ func (r *ring) remove(id string) {
 		return
 	}
 	delete(r.ids, id)
+	delete(r.weights, id)
 	kept := r.points[:0]
 	for _, p := range r.points {
 		if p.shard != id {
@@ -131,12 +231,49 @@ func (r *ring) owner(key string) (string, bool) {
 	if len(r.points) == 0 {
 		return "", false
 	}
-	h := hash64(key)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0
+	return r.successor(key, 0)
+}
+
+// successor returns the i-th DISTINCT shard at or after key's hash in
+// ring order — the walk replica placement uses, here carrying sub-arc
+// placement for split groups: sub-arc i of a group lands on the i-th
+// distinct successor of the group's own hash, so k sub-arcs are
+// guaranteed to spread over min(k, members) different shards. Hashing
+// "group#i" as an ordinary key cannot promise that (several sub-keys
+// routinely collapse onto one lucky shard), and a collapsed split
+// relieves nothing. i wraps modulo the member count, and the walk is
+// as deterministic as owner's.
+func (r *ring) successor(key string, i int) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
 	}
-	return r.points[i].shard, true
+	if n := len(r.ids); n > 0 {
+		i %= n
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	var seen map[string]bool
+	for j := 0; j < len(r.points); j++ {
+		p := r.points[(start+j)%len(r.points)]
+		if i == 0 {
+			return p.shard, true
+		}
+		if seen == nil {
+			seen = make(map[string]bool, i+1)
+		}
+		if seen[p.shard] {
+			continue
+		}
+		seen[p.shard] = true
+		if len(seen) == i+1 {
+			return p.shard, true
+		}
+	}
+	// Unreachable: i < len(r.ids) and every id owns at least one point.
+	return r.points[start].shard, true
 }
 
 // members returns the shard ids on the ring, sorted.

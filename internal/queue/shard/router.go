@@ -25,7 +25,20 @@ var (
 	// string while the group's own queues hash "job-7", silently
 	// breaking the co-location the caller asked for.
 	ErrBadGroup = errors.New("shard: placement group must not contain '/'")
+	// ErrGroupPinned rejects a split of a group that opted into strict
+	// co-location (PinGroup): jobs whose correctness depends on all
+	// queues sharing one shard must never be spread by the load policy.
+	ErrGroupPinned = errors.New("shard: placement group is pinned to one shard")
+	// ErrBadSplit bounds the sub-arc count: zero or negative is
+	// meaningless and an absurdly high k would shred a group finer than
+	// its queue count for no balance gain.
+	ErrBadSplit = fmt.Errorf("shard: subgroup count must be in [1, %d]", maxSubgroups)
 )
+
+// maxSubgroups caps how many sub-arcs a split may spread a group over.
+// A group rarely has more queues than this; past it the sub-arcs are
+// mostly empty and every topology sweep pays for them.
+const maxSubgroups = 64
 
 // receiptSep joins the issuing shard's id to a receipt handle. Receipts
 // must route to the shard that issued the lease — not the queue's
@@ -59,6 +72,35 @@ func effectiveGroup(group, name string) string {
 		return group
 	}
 	return DeriveGroup(name)
+}
+
+// subgroupIndex deterministically assigns a queue to one of k sub-arcs
+// by hashing its full name. The salt keeps the assignment independent
+// of the ring's own hash of the group key, and hashing the NAME (not
+// the group) is what spreads a hot group: all of the group's queues
+// share one group key but land on k different sub-arcs. The mapping
+// depends only on (name, k), so every process — and every rebuild of
+// the router — derives the same placement, which is what keeps
+// receipts and in-flight messages routable across a split.
+func subgroupIndex(name string, k int) int {
+	return int(hash64("subgroup/"+name) % uint64(k))
+}
+
+// ringOwnerLocked is the single definition of where a queue lives:
+// the owner of its effective placement group, re-derived across k
+// sub-arcs while the group is split — sub-arc i is the i-th distinct
+// shard after the group's hash in ring order (ring.successor), so a
+// k-way split is guaranteed to reach min(k, shards) different shards.
+// Co-location degrades gracefully: all of one QUEUE's traffic (and
+// its receipts, and its in-flight messages) still maps to exactly one
+// sub-arc, only the group's queues fan out over k of them. Caller
+// holds r.mu.
+func (r *Router) ringOwnerLocked(group, name string) (string, bool) {
+	g := effectiveGroup(group, name)
+	if k := r.splits[g]; k > 1 {
+		return r.ring.successor(g, subgroupIndex(name, k))
+	}
+	return r.ring.owner(g)
 }
 
 func wrapReceipt(shardID, receipt string) string { return shardID + receiptSep + receipt }
@@ -126,11 +168,16 @@ type Router struct {
 	// the migrations they trigger.
 	topoMu sync.Mutex
 
-	// mu guards ring, shards, and routes.
+	// mu guards ring, shards, routes, splits, and pinned.
 	mu     sync.RWMutex
 	ring   *ring
 	shards map[string]queue.API
 	routes map[string]*route
+	// splits maps a placement group to its sub-arc count; absent (or 1)
+	// means unsplit. pinned groups opted out of splitting entirely
+	// (strict co-location).
+	splits map[string]int
+	pinned map[string]bool
 
 	// billing mirrors queue.Service: one request per routed call,
 	// attributed to the addressed queue, so the broker's per-tenant
@@ -164,6 +211,14 @@ type routerMetrics struct {
 	// shardRates caches per-shard request-rate instruments
 	// (shard id → *telemetry.Rate).
 	shardRates sync.Map
+	// groupRates caches per-group request-rate instruments
+	// (group key → *telemetry.Rate).
+	groupRates sync.Map
+	// gaugeMu guards seenGroups across concurrent scrapes; the backlog
+	// collector zeroes gauges of groups that vanished (last queue
+	// deleted) so a stale reading never lingers at its final value.
+	gaugeMu    sync.Mutex
+	seenGroups map[string]bool
 }
 
 func (r *Router) opStart() time.Time {
@@ -201,6 +256,32 @@ func (r *Router) shardRate(id string) float64 {
 		return 0
 	}
 	if v, ok := r.met.shardRates.Load(id); ok {
+		return v.(*telemetry.Rate).PerSecond()
+	}
+	return 0
+}
+
+// markGroup bumps a placement group's request rate (group_requests).
+// Called beside markShard wherever a routed call resolves a backend, so
+// the split policy sees which GROUP is hot, not just which shard.
+func (r *Router) markGroup(g string) {
+	if r.met == nil || g == "" {
+		return
+	}
+	v, ok := r.met.groupRates.Load(g)
+	if !ok {
+		v, _ = r.met.groupRates.LoadOrStore(g, r.met.reg.Rate(telemetry.Label("group_requests", "group", g)))
+	}
+	v.(*telemetry.Rate).Mark(1)
+}
+
+// groupRate reads a group's current request rate (0 when
+// uninstrumented or never addressed).
+func (r *Router) groupRate(g string) float64 {
+	if r.met == nil {
+		return 0
+	}
+	if v, ok := r.met.groupRates.Load(g); ok {
 		return v.(*telemetry.Rate).PerSecond()
 	}
 	return 0
@@ -254,21 +335,41 @@ func NewRouter(cfg Config) *Router {
 		ring:    newRing(c.VirtualNodes),
 		shards:  make(map[string]queue.API),
 		routes:  make(map[string]*route),
+		splits:  make(map[string]int),
+		pinned:  make(map[string]bool),
 		closing: make(chan struct{}),
 	}
 	if c.Metrics != nil {
-		r.met = &routerMetrics{reg: c.Metrics, ops: make(map[string]*telemetry.Histogram, len(routerOps))}
+		r.met = &routerMetrics{
+			reg:        c.Metrics,
+			ops:        make(map[string]*telemetry.Histogram, len(routerOps)),
+			seenGroups: make(map[string]bool),
+		}
 		for _, op := range routerOps {
 			r.met.ops[op] = c.Metrics.Histogram(telemetry.Label("router_op_ns", "op", op))
 		}
 		// Backlog gauges are refreshed at scrape time rather than
 		// maintained on the data path: depth is already tracked by each
 		// shard, and a per-send gauge update would put a second write on
-		// every routed call for a number only read by scrapes.
+		// every routed call for a number only read by scrapes. One sweep
+		// feeds both attribution axes — per shard and per group.
 		c.Metrics.AddCollector(func(reg *telemetry.Registry) {
-			for id, n := range r.backlogByShard() {
+			byShard, byGroup := r.depthSweep()
+			for id, n := range byShard {
 				reg.Gauge(telemetry.Label("shard_backlog", "shard", id)).Set(n)
 			}
+			r.met.gaugeMu.Lock()
+			for g := range r.met.seenGroups {
+				if _, ok := byGroup[g]; !ok {
+					reg.Gauge(telemetry.Label("group_backlog", "group", g)).Set(0)
+					delete(r.met.seenGroups, g)
+				}
+			}
+			for g, n := range byGroup {
+				r.met.seenGroups[g] = true
+				reg.Gauge(telemetry.Label("group_backlog", "group", g)).Set(n)
+			}
+			r.met.gaugeMu.Unlock()
 		})
 	}
 	return r
@@ -306,7 +407,7 @@ func (r *Router) ownerBackend(trace, queueName string) (string, queue.API, error
 	for {
 		rt.mu.Lock()
 		if rt.frozen == nil {
-			id := rt.shard
+			id, group := rt.shard, rt.group
 			rt.mu.Unlock()
 			r.mu.RLock()
 			b := r.shards[id]
@@ -315,6 +416,9 @@ func (r *Router) ownerBackend(trace, queueName string) (string, queue.API, error
 				return "", nil, queue.ErrNoSuchQueue
 			}
 			r.markShard(id)
+			if r.met != nil {
+				r.markGroup(effectiveGroup(group, queueName))
+			}
 			return id, scopeTrace(b, trace), nil
 		}
 		ch := rt.frozen
@@ -362,7 +466,7 @@ func (r *Router) createQueue(trace, name string) error {
 		r.mu.Unlock()
 		return queue.ErrQueueExists
 	}
-	owner, ok := r.ring.owner(DeriveGroup(name))
+	owner, ok := r.ringOwnerLocked("", name)
 	if !ok {
 		r.mu.Unlock()
 		return ErrNoShards
@@ -372,6 +476,9 @@ func (r *Router) createQueue(trace, name string) error {
 	b := r.shards[owner]
 	r.mu.Unlock()
 	r.markShard(owner)
+	if r.met != nil {
+		r.markGroup(DeriveGroup(name))
+	}
 	err := scopeTrace(b, trace).CreateQueue(name)
 	if err != nil && !errors.Is(err, queue.ErrQueueExists) {
 		r.mu.Lock()
@@ -599,6 +706,12 @@ func (r *Router) receiptBackend(trace, queueName, wrapped string) (queue.API, st
 		return nil, "", fmt.Errorf("shard: receipt from unknown shard %q: %w", id, queue.ErrStaleReceipt)
 	}
 	r.markShard(id)
+	if r.met != nil {
+		rt.mu.Lock()
+		group := rt.group
+		rt.mu.Unlock()
+		r.markGroup(effectiveGroup(group, queueName))
+	}
 	return scopeTrace(b, trace), raw, nil
 }
 
@@ -630,6 +743,12 @@ func (r *Router) deleteMessageBatch(trace, queueName string, receipts []string) 
 	r.mu.RUnlock()
 	if rt == nil {
 		return nil, queue.ErrNoSuchQueue
+	}
+	if r.met != nil {
+		rt.mu.Lock()
+		group := rt.group
+		rt.mu.Unlock()
+		r.markGroup(effectiveGroup(group, queueName))
 	}
 	results := make([]error, len(receipts))
 	type group struct {
@@ -948,6 +1067,9 @@ type ShardStat struct {
 	// averaged over the trailing 10s window. Zero when the router has no
 	// metrics registry.
 	RatePerSec float64
+	// Weight is the shard's ring-arc weight (1 = fair share of the key
+	// space); 0 for a retired shard no longer on the ring.
+	Weight float64
 }
 
 // Stats aggregates per-shard placement, billing, live depth, and load —
@@ -972,6 +1094,10 @@ func (r *Router) Stats() []ShardStat {
 	for id := range r.ring.ids {
 		onRing[id] = true
 	}
+	weights := make(map[string]float64, len(r.ring.weights))
+	for id, w := range r.ring.weights {
+		weights[id] = w
+	}
 	r.mu.RUnlock()
 	sort.Strings(ids)
 	// Read billed request counts BEFORE probing backlogs: depth probes
@@ -992,7 +1118,128 @@ func (r *Router) Stats() []ShardStat {
 			Requests:   requests[id],
 			Backlog:    backlog[id],
 			RatePerSec: r.shardRate(id),
+			Weight:     weights[id],
 		})
+	}
+	return out
+}
+
+// GroupStat describes one placement group's footprint and traffic.
+type GroupStat struct {
+	Group string
+	// Queues currently routed under the group.
+	Queues int
+	// Subgroups is the number of sub-arcs the group is split across
+	// (1 = unsplit).
+	Subgroups int
+	// Pinned groups opted out of hot-group splitting (strict
+	// co-location).
+	Pinned bool
+	// Shards the group's queues currently occupy, sorted. More than one
+	// entry means the group is split (or mid-migration).
+	Shards []string
+	// Requests is the router-billed call count addressed to the group's
+	// queues since they were created.
+	Requests int64
+	// Backlog is the group's live message depth (visible + in-flight),
+	// including straggler copies still draining off old shards.
+	Backlog int64
+	// RatePerSec is the router-observed request rate to the group over
+	// the trailing 10s window (0 without a metrics registry).
+	RatePerSec float64
+}
+
+// GroupStats aggregates per-group placement, billing, depth, and load —
+// the axis the split policy (and a capacity-planning operator) cares
+// about: WHICH tenant is hot, not just which shard it happens to sit
+// on. Sorted by group.
+func (r *Router) GroupStats() []GroupStat {
+	r.mu.RLock()
+	routes := make(map[string]*route, len(r.routes))
+	for n, rt := range r.routes {
+		routes[n] = rt
+	}
+	splits := make(map[string]int, len(r.splits))
+	for g, k := range r.splits {
+		splits[g] = k
+	}
+	pinned := make(map[string]bool, len(r.pinned))
+	for g := range r.pinned {
+		pinned[g] = true
+	}
+	r.mu.RUnlock()
+	agg := make(map[string]*GroupStat)
+	shardsOf := make(map[string]map[string]bool)
+	for name, rt := range routes {
+		rt.mu.Lock()
+		owner, group, dead := rt.shard, rt.group, rt.dead
+		rt.mu.Unlock()
+		if dead {
+			continue
+		}
+		g := effectiveGroup(group, name)
+		st := agg[g]
+		if st == nil {
+			k := splits[g]
+			if k < 1 {
+				k = 1
+			}
+			st = &GroupStat{Group: g, Subgroups: k, Pinned: pinned[g], RatePerSec: r.groupRate(g)}
+			agg[g] = st
+			shardsOf[g] = make(map[string]bool)
+		}
+		st.Queues++
+		shardsOf[g][owner] = true
+		st.Requests += r.billing.For(name)
+	}
+	_, byGroup := r.depthSweep()
+	out := make([]GroupStat, 0, len(agg))
+	for g, st := range agg {
+		st.Backlog = byGroup[g]
+		for id := range shardsOf[g] {
+			st.Shards = append(st.Shards, id)
+		}
+		sort.Strings(st.Shards)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// SetShardWeight rescales a shard's ring arc (1 = a fair share of the
+// key space; clamped to [1/16, 16]). Only the ring re-keys — no data
+// moves until the next Rebalance, so a policy can adjust several
+// weights and pay a single migration sweep. Reports whether the
+// shard's point count actually changed (false means the nudge rounded
+// to the same arc and Rebalance has nothing new to do).
+func (r *Router) SetShardWeight(id string, w float64) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.ring.ids[id] {
+		return false, ErrNoSuchShard
+	}
+	return r.ring.setWeight(id, w), nil
+}
+
+// ShardWeights snapshots the ring-arc weight of every shard on the
+// ring.
+func (r *Router) ShardWeights() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.ring.weights))
+	for id, w := range r.ring.weights {
+		out[id] = w
+	}
+	return out
+}
+
+// Splits snapshots the sub-arc count of every currently-split group.
+func (r *Router) Splits() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.splits))
+	for g, k := range r.splits {
+		out[g] = k
 	}
 	return out
 }
@@ -1011,6 +1258,17 @@ func (r *Router) Stats() []ShardStat {
 // when the backend offers it (a local *queue.Service); remote shards
 // fall back to a billed ApproximateCount probe per queue.
 func (r *Router) backlogByShard() map[string]int64 {
+	byShard, _ := r.depthSweep()
+	return byShard
+}
+
+// depthSweep probes every routed queue's depth once and attributes it
+// along both axes: to the shards physically holding the messages
+// (owner + draining old shards, see backlogByShard) and to the queue's
+// effective placement group (owner and straggler copies both — the
+// group's messages wherever they sit, which is what the split policy
+// sizes against).
+func (r *Router) depthSweep() (byShard, byGroup map[string]int64) {
 	r.mu.RLock()
 	routes := make(map[string]*route, len(r.routes))
 	for n, rt := range r.routes {
@@ -1021,13 +1279,15 @@ func (r *Router) backlogByShard() map[string]int64 {
 		backends[id] = b
 	}
 	r.mu.RUnlock()
-	out := make(map[string]int64, len(backends))
+	byShard = make(map[string]int64, len(backends))
+	byGroup = make(map[string]int64)
 	for id := range backends {
-		out[id] = 0
+		byShard[id] = 0
 	}
 	for name, rt := range routes {
 		rt.mu.Lock()
 		owner := rt.shard
+		group := rt.group
 		dead := rt.dead
 		drains := make([]string, 0, len(rt.draining))
 		for id := range rt.draining {
@@ -1039,16 +1299,22 @@ func (r *Router) backlogByShard() map[string]int64 {
 		if dead {
 			continue
 		}
+		g := effectiveGroup(group, name)
+		if _, ok := byGroup[g]; !ok {
+			byGroup[g] = 0
+		}
 		if v, inf, ok := queueDepth(backends[owner], name); ok {
-			out[owner] += int64(v) + int64(inf)
+			byShard[owner] += int64(v) + int64(inf)
+			byGroup[g] += int64(v) + int64(inf)
 		}
 		for _, id := range drains {
 			if v, inf, ok := queueDepth(backends[id], name); ok {
-				out[id] += int64(v) + int64(inf)
+				byShard[id] += int64(v) + int64(inf)
+				byGroup[g] += int64(v) + int64(inf)
 			}
 		}
 	}
-	return out
+	return byShard, byGroup
 }
 
 // queueDepth reads one queue's depth on one backend, preferring the

@@ -1,8 +1,9 @@
-// End-to-end regression test for count-preserving queue migration: a
+// End-to-end regression tests for count-preserving queue migration: a
 // broker job with a poison task runs through a 4-shard router, the
-// ring grows mid-job so the job's placement group is rebalanced onto
-// the new shard, and the poison task must still dead-letter after
-// exactly MaxReceives total receives.
+// topology changes mid-job — the ring grows in one test, the job's
+// placement group is split across sub-arcs in the other — and the
+// poison task must still dead-letter after exactly MaxReceives total
+// receives.
 //
 // Against the pre-transfer migration — drain-and-forward re-sending
 // through the public API — this test fails: the re-send resets the
@@ -167,5 +168,132 @@ func TestPoisonTaskSurvivesShardRebalance(t *testing.T) {
 	}
 	if visible+inflight < 1 {
 		t.Error("dead-letter queue is empty after the rebalance")
+	}
+}
+
+// TestPoisonTaskSurvivesHotGroupSplit is the same contract under the
+// other topology change: instead of the ring growing, the job's
+// placement group is SPLIT across sub-arcs mid-job — the load-relief
+// path a hot group takes — and the poison task must still dead-letter
+// after exactly MaxReceives total receives. The split migrates the
+// task queue through the same count-preserving transfer, so a split
+// that re-sent messages through the public API would fail this test
+// the same way a count-resetting rebalance fails the one above.
+func TestPoisonTaskSurvivesHotGroupSplit(t *testing.T) {
+	router := shard.NewRouter(shard.Config{ForwardInterval: 2 * time.Millisecond})
+	defer router.Close()
+	for i := 0; i < 4; i++ {
+		if err := router.AddShard(fmt.Sprintf("s%d", i), queue.NewService(queue.Config{Seed: int64(i + 1)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env := classiccloud.Env{Blob: blob.NewStore(blob.Config{}), Queue: router}
+
+	var poisonRuns atomic.Int64
+	reg := broker.DefaultRegistry()
+	reg["flaky"] = func(map[string][]byte) (classiccloud.Executor, error) {
+		return classiccloud.FuncExecutor{
+			AppName: "flaky",
+			Fn: func(_ classiccloud.Task, input []byte) ([]byte, error) {
+				if bytes.HasPrefix(input, []byte("POISON")) {
+					poisonRuns.Add(1)
+					return nil, errors.New("poison input")
+				}
+				return input, nil
+			},
+		}, nil
+	}
+
+	const maxReceives = 4
+	b := broker.New(broker.Config{
+		Env:                env,
+		Registry:           reg,
+		WorkersPerInstance: 2,
+		VisibilityTimeout:  400 * time.Millisecond,
+		MaxReceives:        maxReceives,
+		TickInterval:       15 * time.Millisecond,
+		Autoscale: broker.AutoscalePolicy{
+			MinInstances:       1,
+			MaxInstances:       2,
+			BacklogPerInstance: 16,
+		},
+	})
+	defer b.Close()
+
+	const good = 12
+	files := map[string][]byte{"poison.txt": []byte("POISON\n")}
+	for i := 0; i < good; i++ {
+		files[fmt.Sprintf("good%02d.txt", i)] = []byte(fmt.Sprintf("payload %d\n", i))
+	}
+	j, err := b.Submit(broker.JobRequest{App: "flaky", Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccCfg := classiccloud.Config{JobName: j.ID}
+	taskQ, monQ, dlq := ccCfg.TaskQueue(), ccCfg.MonitorQueue(), j.ID+"/dead"
+
+	// Wait for the poison task's first failed execution, so its message
+	// carries delivery-count progress the split could destroy.
+	deadline := time.Now().Add(30 * time.Second)
+	for poisonRuns.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("poison task never executed: %+v", j.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Split the job's group mid-job, widening the fan-out until the task
+	// queue actually re-homes onto another sub-arc (sub-arc assignment
+	// hashes the queue name, so the first k that maps the task queue off
+	// sub-arc 0 moves it — guaranteed onto a DIFFERENT shard by the
+	// distinct-successor walk).
+	before := router.Owners()[taskQ]
+	moved := false
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		if err := router.SplitGroup(j.ID, k); err != nil {
+			t.Fatalf("split to %d: %v", k, err)
+		}
+		if router.Owners()[taskQ] != before {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatalf("task queue %s never left %s across widening splits", taskQ, before)
+	}
+
+	if err := j.Wait(60 * time.Second); err != nil {
+		t.Fatalf("job did not complete across the split: %v", err)
+	}
+	st := j.Status()
+	if st.Done != good || st.Dead != 1 {
+		t.Fatalf("done=%d dead=%d, want %d/1", st.Done, st.Dead, good)
+	}
+	if dl := j.DeadLetters(); len(dl) != 1 || dl[0] != "poison.txt" {
+		t.Errorf("DeadLetters = %v, want [poison.txt]", dl)
+	}
+	// The heart of the test: dead-lettering consumed exactly the retry
+	// budget despite the mid-job split.
+	if got := poisonRuns.Load(); got != maxReceives {
+		t.Errorf("poison task executed %d times, want exactly MaxReceives=%d — the split lost receive-count progress",
+			got, maxReceives)
+	}
+
+	// Merge back: the group re-co-locates and the parked poison body
+	// survives the return migration too.
+	if err := router.MergeGroup(j.ID); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	owners := router.Owners()
+	if owners[taskQ] == "" || owners[taskQ] != owners[monQ] || owners[taskQ] != owners[dlq] {
+		t.Fatalf("job queues not re-co-located after merge: tasks=%s monitor=%s dead=%s",
+			owners[taskQ], owners[monQ], owners[dlq])
+	}
+	visible, inflight, err := router.ApproximateCount(dlq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visible+inflight < 1 {
+		t.Error("dead-letter queue is empty after split and merge")
 	}
 }
