@@ -26,6 +26,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/classiccloud"
 	"repro/internal/cloud"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/queue"
@@ -116,6 +117,7 @@ func experiments() []experiment {
 		{"queueskew", "Hot-group splitting on a Zipf-skewed workload (writes BENCH_skew.json)", queueSkew},
 		{"queuewire", "Wire vs HTTP transport on the shard curve (writes BENCH_wire.json)", queueWire},
 		{"brokerrecover", "Broker journal replay and append overhead (writes BENCH_broker.json)", brokerRecover},
+		{"queuedurable", "Durable queue shards: journaling cost, recovery, failover (writes BENCH_durable.json)", queueDurable},
 	}
 }
 
@@ -1378,6 +1380,296 @@ func brokerRecover() {
 		return
 	}
 	fmt.Println("baseline written to BENCH_broker.json")
+}
+
+// durableRecoveryPoint is one journal length on the recovery curve.
+type durableRecoveryPoint struct {
+	// Messages live in the queue at the simulated crash; TailRecords is
+	// the journal length Recover actually folds.
+	Messages    int `json:"messages"`
+	TailRecords int `json:"journal_tail_records"`
+	// RecoverMsgsPerSec is the fold rate: live messages restored per
+	// second of Recover wall time.
+	RecoverMsgsPerSec float64 `json:"recover_msgs_per_sec"`
+}
+
+// durableBenchReport is the BENCH_durable.json schema: what write-ahead
+// journaling costs the queue hot path and what it buys back at
+// recovery and failover time.
+type durableBenchReport struct {
+	// Workload shape for the two cycles-per-second fields: Queues ×
+	// Workers run send→receive→delete cycles on one service, ephemeral
+	// versus journaling every mutation to the blob store.
+	Queues                int     `json:"queues"`
+	Workers               int     `json:"workers_per_queue"`
+	EphemeralCyclesPerSec float64 `json:"ephemeral_cycles_per_sec"`
+	DurableCyclesPerSec   float64 `json:"durable_cycles_per_sec"`
+	// JournalCostRatio is ephemeral/durable — the hot-path price of
+	// durability, informational (the two gated _per_sec fields carry
+	// the regression protection).
+	JournalCostRatio float64 `json:"journal_cost_ratio"`
+	// Recovery folds journals of increasing length on a cold service.
+	Recovery []durableRecoveryPoint `json:"recovery"`
+	// Exact invariants of the recovery contract: the folded state
+	// reproduces queue depth and per-message delivery counts exactly,
+	// and compaction keeps the journal tail under SnapshotEvery.
+	DepthMatch         float64 `json:"recover_depth_match_exact"`
+	ReceivesPreserved  float64 `json:"recover_receives_preserved_exact"`
+	SnapshotBoundsTail float64 `json:"snapshot_bounds_tail_exact"`
+	// PromoteNs is the failover hand-off: Halt the primary, promote a
+	// caught-up follower, in nanoseconds until the promoted service
+	// answers. The paper's queue argument inverted — here the shared
+	// journal is what makes the worker-role shard disposable.
+	PromoteNs float64 `json:"failover_promote_ns"`
+}
+
+// queueDurable measures the durability layer end to end: hot-path
+// journaling cost against the ephemeral core, cold-recovery fold rate
+// versus journal length, the exactness invariants CI pins, and the
+// promotion latency of a warm follower. Results go to
+// BENCH_durable.json.
+func queueDurable() {
+	rep := durableBenchReport{Queues: 4, Workers: 4}
+	const cycles = 400
+
+	// Hot path: the contention shape of queueBench, once ephemeral and
+	// once with every mutation journaled. Best of 2 per variant.
+	contention := func(dur *queue.Durability) (float64, error) {
+		svc := queue.NewService(queue.Config{Seed: 1, Durability: dur})
+		if dur != nil {
+			if err := svc.Recover(); err != nil {
+				return 0, err
+			}
+		}
+		for qi := 0; qi < rep.Queues; qi++ {
+			if err := svc.CreateQueue(fmt.Sprintf("q%d", qi)); err != nil {
+				return 0, err
+			}
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for qi := 0; qi < rep.Queues; qi++ {
+			qn := fmt.Sprintf("q%d", qi)
+			for w := 0; w < rep.Workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < cycles; i++ {
+						svc.SendMessage(qn, []byte("task"))
+						m, ok, _ := svc.ReceiveMessage(qn, time.Hour)
+						if ok {
+							svc.DeleteMessage(qn, m.ReceiptHandle)
+						}
+					}
+				}()
+			}
+		}
+		wg.Wait()
+		return float64(rep.Queues*rep.Workers*cycles) / time.Since(start).Seconds(), nil
+	}
+	best := func(dur func() *queue.Durability) (float64, error) {
+		var top float64
+		for run := 0; run < 2; run++ {
+			v, err := contention(dur())
+			if err != nil {
+				return 0, err
+			}
+			if v > top {
+				top = v
+			}
+		}
+		return top, nil
+	}
+	var err error
+	if rep.EphemeralCyclesPerSec, err = best(func() *queue.Durability { return nil }); err != nil {
+		fail(err)
+		return
+	}
+	if rep.DurableCyclesPerSec, err = best(func() *queue.Durability {
+		return &queue.Durability{
+			Store: blob.NewStore(blob.Config{}), Bucket: "j", Key: "bench",
+		}
+	}); err != nil {
+		fail(err)
+		return
+	}
+	rep.JournalCostRatio = rep.EphemeralCyclesPerSec / rep.DurableCyclesPerSec
+
+	// Recovery fold rate: a crashed shard's journal of N uncompacted
+	// send records, folded by a cold service.
+	for _, n := range []int{1_000, 8_000} {
+		store := blob.NewStore(blob.Config{})
+		dur := &queue.Durability{Store: store, Bucket: "j", Key: "crash", SnapshotEvery: -1}
+		w := queue.NewService(queue.Config{Seed: 2, Durability: dur})
+		if err := w.Recover(); err != nil {
+			fail(err)
+			return
+		}
+		if err := w.CreateQueue("q"); err != nil {
+			fail(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if _, err := w.SendMessage("q", []byte("m")); err != nil {
+				fail(err)
+				return
+			}
+		}
+		w.Halt()
+		cold := queue.NewService(queue.Config{Seed: 2, Durability: dur})
+		start := time.Now()
+		if err := cold.Recover(); err != nil {
+			fail(err)
+			return
+		}
+		elapsed := time.Since(start).Seconds()
+		vis, inf, err := cold.ApproximateCount("q")
+		if err != nil || vis != n || inf != 0 {
+			fail(fmt.Errorf("recovered depth %d/%d (err %v), want %d/0", vis, inf, err, n))
+			return
+		}
+		rep.Recovery = append(rep.Recovery, durableRecoveryPoint{
+			Messages:          n,
+			TailRecords:       n + 2, // genesis + create + n sends
+			RecoverMsgsPerSec: float64(n) / elapsed,
+		})
+		store.Delete("j", "crash")
+	}
+	rep.DepthMatch = 1
+
+	// Delivery counts survive the crash: receive a message twice, kill,
+	// recover, and the third receive must say Receives=3 — the property
+	// that keeps a poison message's dead-letter budget honest.
+	{
+		store := blob.NewStore(blob.Config{})
+		dur := &queue.Durability{Store: store, Bucket: "j", Key: "counts"}
+		w := queue.NewService(queue.Config{Seed: 3, Durability: dur})
+		if err := w.Recover(); err != nil {
+			fail(err)
+			return
+		}
+		w.CreateQueue("q")
+		w.SendMessage("q", []byte("poison"))
+		for i := 0; i < 2; i++ {
+			m, ok, err := w.ReceiveMessage("q", time.Hour)
+			if err != nil || !ok {
+				fail(fmt.Errorf("receive %d: %v ok=%v", i, err, ok))
+				return
+			}
+			w.ChangeVisibility("q", m.ReceiptHandle, 0)
+		}
+		w.Halt()
+		cold := queue.NewService(queue.Config{Seed: 3, Durability: dur})
+		if err := cold.Recover(); err != nil {
+			fail(err)
+			return
+		}
+		m, ok, err := cold.ReceiveMessage("q", time.Hour)
+		if err != nil || !ok {
+			fail(fmt.Errorf("post-recovery receive: %v ok=%v", err, ok))
+			return
+		}
+		if m.Receives != 3 {
+			fail(fmt.Errorf("recovered delivery count %d, want 3", m.Receives))
+			return
+		}
+		rep.ReceivesPreserved = 1
+	}
+
+	// Compaction bounds the tail: after far more records than
+	// SnapshotEvery, the journal holds a snapshot plus a short tail.
+	{
+		const snapEvery, sends = 64, 1_000
+		store := blob.NewStore(blob.Config{})
+		dur := &queue.Durability{Store: store, Bucket: "j", Key: "snap", SnapshotEvery: snapEvery}
+		w := queue.NewService(queue.Config{Seed: 4, Durability: dur})
+		if err := w.Recover(); err != nil {
+			fail(err)
+			return
+		}
+		w.CreateQueue("q")
+		for i := 0; i < sends; i++ {
+			w.SendMessage("q", []byte("m"))
+		}
+		v, err := (journal.Log{Store: store, Bucket: "j", Key: "snap"}).Load()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if v.Seq < 1 || len(v.Entries) > 2*snapEvery {
+			fail(fmt.Errorf("journal after %d sends: epoch %d, tail %d records (SnapshotEvery %d)",
+				sends, v.Seq, len(v.Entries), snapEvery))
+			return
+		}
+		rep.SnapshotBoundsTail = 1
+	}
+
+	// Failover: a follower that kept pace promotes in the time it takes
+	// to fold the final tail — the window the router's health loop adds
+	// to, not multiplies.
+	{
+		store := blob.NewStore(blob.Config{})
+		cfg := queue.Config{
+			Seed:       5,
+			Durability: &queue.Durability{Store: store, Bucket: "j", Key: "ha"},
+		}
+		w := queue.NewService(cfg)
+		if err := w.Recover(); err != nil {
+			fail(err)
+			return
+		}
+		w.CreateQueue("q")
+		for i := 0; i < 500; i++ {
+			w.SendMessage("q", []byte("m"))
+		}
+		f, err := queue.NewFollower(cfg)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if _, err := f.CatchUp(); err != nil {
+			fail(err)
+			return
+		}
+		for i := 0; i < 50; i++ {
+			w.SendMessage("q", []byte("late")) // a short tail to fold at promotion
+		}
+		w.Halt()
+		start := time.Now()
+		promoted, err := f.Promote()
+		if err != nil {
+			fail(err)
+			return
+		}
+		rep.PromoteNs = float64(time.Since(start).Nanoseconds())
+		if vis, _, err := promoted.ApproximateCount("q"); err != nil || vis != 550 {
+			fail(fmt.Errorf("promoted depth %d (err %v), want 550", vis, err))
+			return
+		}
+	}
+
+	fmt.Printf("contention (%d queues × %d workers):\n", rep.Queues, rep.Workers)
+	fmt.Printf("  ephemeral: %10.0f cycles/s\n", rep.EphemeralCyclesPerSec)
+	fmt.Printf("  durable:   %10.0f cycles/s   (journaling costs %.2fx)\n",
+		rep.DurableCyclesPerSec, rep.JournalCostRatio)
+	for _, p := range rep.Recovery {
+		fmt.Printf("recover %5d msgs (%5d-record journal): %10.0f msgs/s\n",
+			p.Messages, p.TailRecords, p.RecoverMsgsPerSec)
+	}
+	fmt.Printf("depth / delivery-count / snapshot invariants: %0.f / %.0f / %.0f\n",
+		rep.DepthMatch, rep.ReceivesPreserved, rep.SnapshotBoundsTail)
+	fmt.Printf("follower promotion (50-record tail): %10.0f ns\n", rep.PromoteNs)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := os.WriteFile("BENCH_durable.json", append(data, '\n'), 0o644); err != nil {
+		fail(err)
+		return
+	}
+	fmt.Println("baseline written to BENCH_durable.json")
 }
 
 // brokerLive runs a real (in-process) elastic job: 64 Cap3 files

@@ -21,22 +21,41 @@
 // advertise it, falling back to HTTP/JSON per request if the wire
 // connection is down.
 //
-// Admin API:
+// Admin API — every endpoint answers the same versioned JSON envelope,
+// {"v":1,"ok":true,"data":…} on success and
+// {"v":1,"ok":false,"error":{"code":…,"message":…}} on failure, with
+// stable machine-readable codes ("no_such_queue", "no_standby", …)
+// mapped from the queue and shard error sentinels so clients switch on
+// the code rather than parsing message text:
 //
-//	GET    /admin/shards               {"shards":[…],"groups":[…],"splits":{…},
-//	                                   "autoscale":{…}} — placement, billing,
-//	                                   load, weights, and policy status
+//	GET    /admin/shards               data: {"shards":[…],"groups":[…],
+//	                                   "splits":{…},"standbys":[…],
+//	                                   "failovers":N,"autoscale":{…}} —
+//	                                   placement, billing, load, weights,
+//	                                   replication, and policy status
 //	PUT    /admin/shards/{id}?url=U    add a shard (migrates ≈1/N of queue groups)
 //	DELETE /admin/shards/{id}          retire a shard (migrates its queues)
 //	POST   /admin/rebalance            retry migrations the ring implies
 //	POST   /admin/regroup?queue=Q&group=G  move a queue into placement group G
 //	POST   /admin/regroup?prefix=P&group=G bulk-move every live queue whose
-//	                                       name starts with P (returns
+//	                                       name starts with P (data:
 //	                                       {"matched": N})
 //	POST   /admin/split?group=G&k=N    spread group G over N sub-arcs (k=1
 //	                                   merges it back onto one shard)
 //	POST   /admin/split?group=G&pin=true   opt G out of splitting (strict
 //	                                       co-location; pin=false re-admits it)
+//	POST   /admin/failover?shard=ID    promote the shard's registered standby
+//	                                   and swap it in under the same id
+//	                                   ("no_standby" when none is registered)
+//
+// Durability & replication: -durable journals every in-process shard's
+// accepted mutations write-ahead to a shared blob store, so a crashed
+// shard's exact state — depths, delivery counts, live receipts — is
+// recoverable; -snapshot-every bounds replay. -replicate additionally
+// runs a warm follower per durable shard, registered as its failover
+// standby; -health-interval starts the router's probe loop, which
+// fails a dead shard over to its caught-up follower automatically
+// (operators can also POST /admin/failover).
 //
 // Load-aware operation: -autoscale enables the router-side shard-fleet
 // policy (internal/queue/shard.AutoscalePolicy) — it splits hot
@@ -85,7 +104,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/blob"
 	"repro/internal/queue"
 	"repro/internal/queue/shard"
 	"repro/internal/queue/wire"
@@ -137,158 +158,232 @@ type adminHandler struct {
 	transferToken string
 }
 
-// adminShardsView is the GET /admin/shards response: both placement
-// axes plus the live policy state.
+// adminV versions the admin envelope; bump it only on a breaking
+// change to the envelope shape itself (data payloads may grow fields
+// within a version).
+const adminV = 1
+
+// adminResponse is the envelope every /admin/* endpoint returns:
+// exactly one of Data (ok) or Error (not ok) is populated.
+type adminResponse struct {
+	V     int         `json:"v"`
+	OK    bool        `json:"ok"`
+	Data  any         `json:"data,omitempty"`
+	Error *adminError `json:"error,omitempty"`
+}
+
+// adminError carries a stable machine-readable code alongside the
+// human-readable message; clients branch on Code.
+type adminError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// adminErrCode maps queue and shard error sentinels onto envelope
+// codes and HTTP statuses. Anything unrecognized is an upstream
+// failure ("internal", 502) — the admin request itself was valid.
+func adminErrCode(err error) (string, int) {
+	switch {
+	case errors.Is(err, queue.ErrNoSuchQueue):
+		return "no_such_queue", http.StatusNotFound
+	case errors.Is(err, shard.ErrNoSuchShard):
+		return "no_such_shard", http.StatusNotFound
+	case errors.Is(err, shard.ErrShardExists):
+		return "shard_exists", http.StatusConflict
+	case errors.Is(err, shard.ErrNoStandby):
+		return "no_standby", http.StatusConflict
+	case errors.Is(err, shard.ErrGroupPinned):
+		return "group_pinned", http.StatusConflict
+	case errors.Is(err, shard.ErrNoShards):
+		return "no_shards", http.StatusConflict
+	case errors.Is(err, shard.ErrBadShardID):
+		return "bad_shard_id", http.StatusBadRequest
+	case errors.Is(err, shard.ErrBadGroup):
+		return "bad_group", http.StatusBadRequest
+	case errors.Is(err, shard.ErrBadSplit):
+		return "bad_split", http.StatusBadRequest
+	case errors.Is(err, queue.ErrHalted):
+		return "shard_halted", http.StatusBadGateway
+	default:
+		return "internal", http.StatusBadGateway
+	}
+}
+
+// writeAdmin answers the success envelope. A nil data is legal — the
+// envelope's ok:true is the result.
+func writeAdmin(w http.ResponseWriter, status int, data any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(adminResponse{V: adminV, OK: true, Data: data})
+}
+
+// writeAdminErr answers the failure envelope for a backend error,
+// mapping it through adminErrCode.
+func writeAdminErr(w http.ResponseWriter, err error) {
+	code, status := adminErrCode(err)
+	writeAdminFail(w, status, code, err.Error())
+}
+
+// writeAdminFail answers the failure envelope with an explicit code,
+// for request-shape errors that never reached the router.
+func writeAdminFail(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(adminResponse{V: adminV, OK: false, Error: &adminError{Code: code, Message: msg}})
+}
+
+// adminShardsView is the GET /admin/shards data payload: both
+// placement axes plus replication and live policy state.
 type adminShardsView struct {
 	Shards    []shard.ShardStat      `json:"shards"`
 	Groups    []shard.GroupStat      `json:"groups"`
 	Splits    map[string]int         `json:"splits"`
+	Standbys  []string               `json:"standbys"`
+	Failovers int64                  `json:"failovers"`
 	Autoscale *shard.AutoscaleStatus `json:"autoscale,omitempty"`
 }
 
 func (h *adminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/admin/rebalance" {
 		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			writeAdminFail(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
 			return
 		}
 		if err := h.router.Rebalance(); err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			writeAdminErr(w, err)
 			return
 		}
 		log.Printf("queuerouter: rebalanced")
-		w.WriteHeader(http.StatusNoContent)
+		writeAdmin(w, http.StatusOK, nil)
+		return
+	}
+	if r.URL.Path == "/admin/failover" {
+		if r.Method != http.MethodPost {
+			writeAdminFail(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
+			return
+		}
+		id := r.URL.Query().Get("shard")
+		if id == "" {
+			writeAdminFail(w, http.StatusBadRequest, "bad_request", "missing shard parameter")
+			return
+		}
+		if err := h.router.Failover(id); err != nil {
+			writeAdminErr(w, err)
+			return
+		}
+		log.Printf("queuerouter: failed over shard %q to its standby", id)
+		writeAdmin(w, http.StatusOK, map[string]string{"shard": id})
 		return
 	}
 	if r.URL.Path == "/admin/regroup" {
 		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			writeAdminFail(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
 			return
 		}
 		queueName := r.URL.Query().Get("queue")
 		prefix := r.URL.Query().Get("prefix")
 		group := r.URL.Query().Get("group")
 		if (queueName == "") == (prefix == "") {
-			http.Error(w, "shard: need exactly one of queue= or prefix=", http.StatusBadRequest)
+			writeAdminFail(w, http.StatusBadRequest, "bad_request", "need exactly one of queue= or prefix=")
 			return
 		}
 		if prefix != "" {
 			matched, err := h.router.RegroupPrefix(prefix, group)
 			if err != nil {
-				if errors.Is(err, shard.ErrBadGroup) {
-					http.Error(w, err.Error(), http.StatusBadRequest)
-				} else {
-					http.Error(w, err.Error(), http.StatusBadGateway)
-				}
+				writeAdminErr(w, err)
 				return
 			}
 			log.Printf("queuerouter: regrouped %d queue(s) with prefix %q into %q", matched, prefix, group)
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(map[string]int{"matched": matched})
+			writeAdmin(w, http.StatusOK, map[string]int{"matched": matched})
 			return
 		}
 		if err := h.router.Regroup(queueName, group); err != nil {
-			switch {
-			case errors.Is(err, queue.ErrNoSuchQueue):
-				http.Error(w, err.Error(), http.StatusNotFound)
-			case errors.Is(err, shard.ErrBadGroup):
-				http.Error(w, err.Error(), http.StatusBadRequest)
-			default:
-				http.Error(w, err.Error(), http.StatusBadGateway)
-			}
+			writeAdminErr(w, err)
 			return
 		}
 		log.Printf("queuerouter: regrouped %q into %q", queueName, group)
-		w.WriteHeader(http.StatusNoContent)
+		writeAdmin(w, http.StatusOK, map[string]string{"queue": queueName, "group": group})
 		return
 	}
 	if r.URL.Path == "/admin/split" {
 		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			writeAdminFail(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
 			return
 		}
 		group := r.URL.Query().Get("group")
 		if group == "" {
-			http.Error(w, "shard: missing group parameter", http.StatusBadRequest)
+			writeAdminFail(w, http.StatusBadRequest, "bad_request", "missing group parameter")
 			return
 		}
 		if pinStr := r.URL.Query().Get("pin"); pinStr != "" {
 			pin, err := strconv.ParseBool(pinStr)
 			if err != nil {
-				http.Error(w, "shard: bad pin parameter", http.StatusBadRequest)
+				writeAdminFail(w, http.StatusBadRequest, "bad_request", "bad pin parameter")
 				return
 			}
 			if err := h.router.PinGroup(group, pin); err != nil {
-				if errors.Is(err, shard.ErrBadGroup) {
-					http.Error(w, err.Error(), http.StatusBadRequest)
-				} else {
-					http.Error(w, err.Error(), http.StatusBadGateway)
-				}
+				writeAdminErr(w, err)
 				return
 			}
 			log.Printf("queuerouter: group %q pinned=%v", group, pin)
-			w.WriteHeader(http.StatusNoContent)
+			writeAdmin(w, http.StatusOK, map[string]any{"group": group, "pinned": pin})
 			return
 		}
 		k, err := strconv.Atoi(r.URL.Query().Get("k"))
 		if err != nil {
-			http.Error(w, "shard: bad or missing k parameter", http.StatusBadRequest)
+			writeAdminFail(w, http.StatusBadRequest, "bad_request", "bad or missing k parameter")
 			return
 		}
 		if err := h.router.SplitGroup(group, k); err != nil {
-			switch {
-			case errors.Is(err, shard.ErrBadGroup), errors.Is(err, shard.ErrBadSplit), errors.Is(err, shard.ErrGroupPinned):
-				http.Error(w, err.Error(), http.StatusBadRequest)
-			default:
-				http.Error(w, err.Error(), http.StatusBadGateway)
-			}
+			writeAdminErr(w, err)
 			return
 		}
 		log.Printf("queuerouter: group %q split to %d sub-arc(s)", group, k)
-		w.WriteHeader(http.StatusNoContent)
+		writeAdmin(w, http.StatusOK, map[string]any{"group": group, "k": k})
 		return
 	}
 	rest, ok := strings.CutPrefix(r.URL.Path, "/admin/shards")
 	if !ok {
-		http.NotFound(w, r)
+		writeAdminFail(w, http.StatusNotFound, "not_found", "unknown admin endpoint")
 		return
 	}
 	rest = strings.TrimPrefix(rest, "/")
 	switch {
 	case rest == "" && r.Method == http.MethodGet:
 		view := adminShardsView{
-			Shards: h.router.Stats(),
-			Groups: h.router.GroupStats(),
-			Splits: h.router.Splits(),
+			Shards:    h.router.Stats(),
+			Groups:    h.router.GroupStats(),
+			Splits:    h.router.Splits(),
+			Standbys:  h.router.Standbys(),
+			Failovers: h.router.Failovers(),
 		}
 		if h.auto != nil {
 			st := h.auto.Status()
 			view.Autoscale = &st
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(view)
+		writeAdmin(w, http.StatusOK, view)
 	case rest != "" && r.Method == http.MethodPut:
 		url := r.URL.Query().Get("url")
 		if url == "" {
-			http.Error(w, "shard: missing url parameter", http.StatusBadRequest)
+			writeAdminFail(w, http.StatusBadRequest, "bad_request", "missing url parameter")
 			return
 		}
 		backend, desc := dialShard(url, h.transferToken, h.metrics)
 		if err := h.router.AddShard(rest, backend); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeAdminErr(w, err)
 			return
 		}
 		log.Printf("queuerouter: added shard %q at %s", rest, desc)
-		w.WriteHeader(http.StatusCreated)
+		writeAdmin(w, http.StatusCreated, map[string]string{"shard": rest, "backend": desc})
 	case rest != "" && r.Method == http.MethodDelete:
 		if err := h.router.RemoveShard(rest); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeAdminErr(w, err)
 			return
 		}
 		log.Printf("queuerouter: retired shard %q", rest)
-		w.WriteHeader(http.StatusNoContent)
+		writeAdmin(w, http.StatusOK, map[string]string{"shard": rest})
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeAdminFail(w, http.StatusMethodNotAllowed, "method_not_allowed", "unsupported method for path")
 	}
 }
 
@@ -315,6 +410,14 @@ func main() {
 		"request rate one shard is provisioned for, the fleet-utilization denominator (0 = policy default)")
 	autoReserve := flag.String("autoscale-reserve", "",
 		"pre-provisioned shards the autoscaler may bring onto the ring, as id=url pairs (consumed in order before any in-process spawn)")
+	durable := flag.Bool("durable", false,
+		"journal every in-process shard's accepted mutations write-ahead to a shared blob store, so exact shard state (depths, delivery counts, live receipts) survives a crash (requires -local)")
+	snapshotEvery := flag.Int("snapshot-every", 0,
+		"journaled records between snapshots on durable shards, bounding recovery replay (0 = default 4096, negative disables compaction)")
+	replicate := flag.Bool("replicate", false,
+		"run a warm follower per durable in-process shard, continuously replaying its journal, and register it as the shard's failover standby (requires -durable)")
+	healthInterval := flag.Duration("health-interval", 0,
+		"probe shards that have standbys at this interval and fail dead ones over to their caught-up follower automatically (0 disables; failover stays available via POST /admin/failover)")
 	flag.Parse()
 
 	remotes, err := parseShards(*shardsFlag)
@@ -323,6 +426,12 @@ func main() {
 	}
 	if len(remotes) == 0 && *local <= 0 {
 		log.Fatal("queuerouter: need -shards or -local N")
+	}
+	if *durable && *local <= 0 {
+		log.Fatal("queuerouter: -durable journals in-process shards; it requires -local N (remote shards journal on their own nodes)")
+	}
+	if *replicate && !*durable {
+		log.Fatal("queuerouter: -replicate needs -durable (a follower replays the primary's journal)")
 	}
 	tokens := splitTokens(*transferToken)
 	presentToken := ""
@@ -340,15 +449,67 @@ func main() {
 		}
 		log.Printf("queuerouter: shard %q -> %s", id, desc)
 	}
+	// Durable mode journals every local shard into one shared blob
+	// store (standing in for the storage web service a real deployment
+	// would share), one journal object per shard.
+	var journalStore *blob.Store
+	if *durable {
+		journalStore = blob.NewStore(blob.Config{Metrics: reg})
+	}
 	for i := 0; i < *local; i++ {
 		id := fmt.Sprintf("local%d", i)
-		svc := queue.NewService(queue.Config{
+		cfg := queue.Config{
 			Seed: int64(i + 1), Metrics: reg, MetricsName: id,
-		})
+		}
+		if journalStore != nil {
+			cfg.Durability = &queue.Durability{
+				Store:         journalStore,
+				Bucket:        "queue-journal",
+				Key:           "shard-" + id,
+				SnapshotEvery: *snapshotEvery,
+			}
+		}
+		svc := queue.NewService(cfg)
+		if journalStore != nil {
+			if err := svc.Recover(); err != nil {
+				log.Fatalf("queuerouter: recover shard %q: %v", id, err)
+			}
+		}
 		if err := router.AddShard(id, svc); err != nil {
 			log.Fatalf("queuerouter: add shard %q: %v", id, err)
 		}
-		log.Printf("queuerouter: shard %q (in-process)", id)
+		if *replicate {
+			// The follower shares the journal config but not the
+			// metrics name: until promoted it only folds records, and
+			// after promotion its traffic counts against the shard id
+			// it replaces.
+			fcfg := cfg
+			fcfg.Metrics, fcfg.MetricsName = nil, ""
+			follower, err := queue.NewFollower(fcfg)
+			if err != nil {
+				log.Fatalf("queuerouter: follower for shard %q: %v", id, err)
+			}
+			poll := *healthInterval
+			if poll <= 0 {
+				poll = 250 * time.Millisecond
+			}
+			follower.Start(poll)
+			if err := router.SetStandby(id, follower.PromoteAPI); err != nil {
+				log.Fatalf("queuerouter: standby for shard %q: %v", id, err)
+			}
+		}
+		switch {
+		case *replicate:
+			log.Printf("queuerouter: shard %q (in-process, durable, replicated)", id)
+		case *durable:
+			log.Printf("queuerouter: shard %q (in-process, durable)", id)
+		default:
+			log.Printf("queuerouter: shard %q (in-process)", id)
+		}
+	}
+	if *healthInterval > 0 {
+		router.StartHealthChecks(*healthInterval)
+		log.Printf("queuerouter: health checks every %s", *healthInterval)
 	}
 
 	var auto *shard.Autoscaler

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/queue"
+	"repro/internal/queue/shard"
+	"repro/internal/telemetry"
+)
+
+// adminRig wires an adminHandler over a two-shard local router.
+func adminRig(t *testing.T) (*shard.Router, *adminHandler) {
+	t.Helper()
+	r := shard.NewRouter(shard.Config{})
+	t.Cleanup(func() { r.Close() })
+	for _, id := range []string{"a", "b"} {
+		if err := r.AddShard(id, queue.NewService(queue.Config{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, &adminHandler{router: r, metrics: telemetry.NewRegistry()}
+}
+
+// do runs one admin request and decodes the envelope.
+func do(t *testing.T, h http.Handler, method, target string) (int, adminResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s %s: Content-Type = %q, want application/json", method, target, ct)
+	}
+	var resp adminResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("%s %s: bad envelope %q: %v", method, target, rec.Body.Bytes(), err)
+	}
+	if resp.V != adminV {
+		t.Fatalf("%s %s: envelope v = %d, want %d", method, target, resp.V, adminV)
+	}
+	if resp.OK == (resp.Error != nil) {
+		t.Fatalf("%s %s: envelope must carry exactly one of ok/error: %+v", method, target, resp)
+	}
+	return rec.Code, resp
+}
+
+// Every endpoint answers the same versioned envelope, success and
+// failure alike, with stable machine-readable error codes.
+func TestAdminEnvelope(t *testing.T) {
+	r, h := adminRig(t)
+	if err := r.CreateQueue("q1"); err != nil {
+		t.Fatal(err)
+	}
+
+	status, resp := do(t, h, http.MethodGet, "/admin/shards")
+	if status != http.StatusOK || !resp.OK {
+		t.Fatalf("GET /admin/shards: %d %+v", status, resp)
+	}
+	var view adminShardsView
+	raw, _ := json.Marshal(resp.Data)
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Shards) != 2 || view.Failovers != 0 || len(view.Standbys) != 0 {
+		t.Errorf("shards view = %+v, want 2 shards, no standbys, no failovers", view)
+	}
+
+	for _, tc := range []struct {
+		method, target string
+		status         int
+		code           string
+	}{
+		{http.MethodGet, "/admin/rebalance", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{http.MethodPost, "/admin/regroup?group=g", http.StatusBadRequest, "bad_request"},
+		{http.MethodPost, "/admin/regroup?queue=ghost&group=g", http.StatusNotFound, "no_such_queue"},
+		{http.MethodPost, "/admin/regroup?queue=q1&group=a/b", http.StatusBadRequest, "bad_group"},
+		{http.MethodPost, "/admin/split?group=g&k=0", http.StatusBadRequest, "bad_split"},
+		{http.MethodPost, "/admin/split", http.StatusBadRequest, "bad_request"},
+		{http.MethodPut, "/admin/shards/a?url=http://x", http.StatusConflict, "shard_exists"},
+		{http.MethodPut, "/admin/shards/x", http.StatusBadRequest, "bad_request"},
+		{http.MethodPost, "/admin/failover", http.StatusBadRequest, "bad_request"},
+		{http.MethodPost, "/admin/failover?shard=ghost", http.StatusNotFound, "no_such_shard"},
+		{http.MethodPost, "/admin/failover?shard=a", http.StatusConflict, "no_standby"},
+		{http.MethodGet, "/admin/nonsense", http.StatusNotFound, "not_found"},
+	} {
+		status, resp := do(t, h, tc.method, tc.target)
+		if status != tc.status || resp.OK || resp.Error.Code != tc.code {
+			t.Errorf("%s %s: got %d code %q, want %d %q",
+				tc.method, tc.target, status, resp.Error.Code, tc.status, tc.code)
+		}
+	}
+
+	status, resp = do(t, h, http.MethodPost, "/admin/regroup?queue=q1&group=g")
+	if status != http.StatusOK || !resp.OK {
+		t.Fatalf("regroup: %d %+v", status, resp)
+	}
+	status, resp = do(t, h, http.MethodPost, "/admin/rebalance")
+	if status != http.StatusOK || !resp.OK {
+		t.Fatalf("rebalance: %d %+v", status, resp)
+	}
+}
+
+// POST /admin/failover promotes a registered standby and the shards
+// view reflects the replication topology before and after.
+func TestAdminFailover(t *testing.T) {
+	store := blob.NewStore(blob.Config{})
+	r := shard.NewRouter(shard.Config{})
+	defer r.Close()
+	h := &adminHandler{router: r, metrics: telemetry.NewRegistry()}
+	durCfg := queue.Config{
+		Durability: &queue.Durability{Store: store, Bucket: "j", Key: "shard-d"},
+	}
+	primary := queue.NewService(durCfg)
+	if err := primary.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddShard("d", primary); err != nil {
+		t.Fatal(err)
+	}
+	follower, err := queue.NewFollower(durCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetStandby("d", follower.PromoteAPI); err != nil {
+		t.Fatal(err)
+	}
+
+	_, resp := do(t, h, http.MethodGet, "/admin/shards")
+	var view adminShardsView
+	raw, _ := json.Marshal(resp.Data)
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Standbys) != 1 || view.Standbys[0] != "d" {
+		t.Fatalf("standbys = %v, want [d]", view.Standbys)
+	}
+
+	if err := r.CreateQueue("jobs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SendMessage("jobs", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	primary.Halt()
+	status, resp := do(t, h, http.MethodPost, "/admin/failover?shard=d")
+	if status != http.StatusOK || !resp.OK {
+		t.Fatalf("failover: %d %+v", status, resp)
+	}
+	m, ok, err := r.ReceiveMessage("jobs", time.Minute)
+	if err != nil || !ok || string(m.Body) != "x" {
+		t.Fatalf("post-failover receive: %v ok=%v body=%q", err, ok, m.Body)
+	}
+	// The standby is consumed; a second failover is an explicit error.
+	status, resp = do(t, h, http.MethodPost, "/admin/failover?shard=d")
+	if status != http.StatusConflict || resp.Error.Code != "no_standby" {
+		t.Fatalf("second failover: %d %+v", status, resp)
+	}
+}

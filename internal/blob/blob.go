@@ -394,6 +394,47 @@ func (s *Store) GetConsistent(bucketName, key string) ([]byte, error) {
 	return out, nil
 }
 
+// GetRange reads up to n bytes of an object starting at byte offset off
+// (consistent view — range reads exist for journal tailing, where a
+// stale tail would re-deliver entries the reader already folded). n < 0
+// reads to the end. It returns the requested slice plus the object's
+// current total size, so a tailing reader can detect truncation: a size
+// below its consumed offset means the object was rewritten underneath
+// it. An offset at or past the end returns no data and no error. Billed
+// as one GET; egress counts only the bytes actually returned.
+func (s *Store) GetRange(bucketName, key string, off, n int64) (data []byte, size int64, err error) {
+	defer s.opDone("get", s.opStart())
+	if off < 0 {
+		return nil, 0, fmt.Errorf("blob: negative range offset %d", off)
+	}
+	s.mu.Lock()
+	s.usage.GetRequests++
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		s.mu.Unlock()
+		s.simulateTransfer(0)
+		return nil, 0, ErrNoSuchBucket
+	}
+	o, exists := b.objects[key]
+	if !exists {
+		s.mu.Unlock()
+		s.simulateTransfer(0)
+		return nil, 0, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucketName, key)
+	}
+	size = int64(len(o.data))
+	if off < size {
+		end := size
+		if n >= 0 && off+n < end {
+			end = off + n
+		}
+		data = append([]byte(nil), o.data[off:end]...)
+	}
+	s.usage.BytesOut += int64(len(data))
+	s.mu.Unlock()
+	s.simulateTransfer(len(data))
+	return data, size, nil
+}
+
 // Delete removes an object. Deleting a missing key is not an error,
 // matching S3.
 func (s *Store) Delete(bucketName, key string) error {

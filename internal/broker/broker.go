@@ -43,6 +43,7 @@ import (
 	"repro/internal/blob"
 	"repro/internal/classiccloud"
 	"repro/internal/cloud"
+	"repro/internal/journal"
 	"repro/internal/queue"
 	"repro/internal/telemetry"
 )
@@ -85,6 +86,12 @@ type Config struct {
 	// journals and the shared data staged for recovery (default
 	// "broker-journal"; DisableJournal turns journaling off).
 	JournalBucket string
+	// JournalSnapshotEvery bounds journal replay: after this many
+	// journaled events the job's folded state is snapshotted and the
+	// journal truncated to it (journal.Log.Snapshot), so a long-running
+	// job's journal no longer grows one checkpoint per drained monitor
+	// batch forever. Default 64 events; negative disables compaction.
+	JournalSnapshotEvery int
 	// TenantQuotas caps each tenant's running instances across all its
 	// jobs. Tenants absent from the map are uncapped but still compete
 	// for FleetBudget with weight 1.
@@ -127,6 +134,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JournalBucket == "" {
 		c.JournalBucket = "broker-journal"
+	}
+	if c.JournalSnapshotEvery == 0 {
+		c.JournalSnapshotEvery = 64
 	}
 	return c
 }
@@ -204,11 +214,14 @@ func New(cfg Config) *Broker {
 }
 
 // journalFor returns the job's journal handle (nil when disabled).
-func (b *Broker) journalFor(jobID string) *journal {
+func (b *Broker) journalFor(jobID string) *jobJournal {
 	if !b.cfg.journalEnabled() {
 		return nil
 	}
-	return &journal{store: b.cfg.Env.Blob, bucket: b.cfg.JournalBucket, key: journalKey(jobID)}
+	return &jobJournal{
+		log:       journal.Log{Store: b.cfg.Env.Blob, Bucket: b.cfg.JournalBucket, Key: journalKey(jobID)},
+		snapEvery: b.cfg.JournalSnapshotEvery,
+	}
 }
 
 // traceEnv returns the broker's environment with the queue client
@@ -463,11 +476,7 @@ func (b *Broker) Recover() (int, error) {
 // adoptJob rebuilds one job from its journal. It reports whether the
 // job resumed running (as opposed to being registered terminal).
 func (b *Broker) adoptJob(id string) (bool, error) {
-	events, err := readJournal(b.cfg.Env.Blob, b.cfg.JournalBucket, id)
-	if err != nil {
-		return false, err
-	}
-	rec, err := foldJournal(id, events)
+	rec, err := loadJobRecord(b.cfg.Env.Blob, b.cfg.JournalBucket, id)
 	if err != nil {
 		return false, err
 	}
@@ -604,7 +613,7 @@ func (b *Broker) removeJobJournal(id string) {
 		return
 	}
 	store := b.cfg.Env.Blob
-	_ = store.Delete(b.cfg.JournalBucket, journalKey(id))
+	_ = (journal.Log{Store: store, Bucket: b.cfg.JournalBucket, Key: journalKey(id)}).Delete()
 	if keys, err := store.List(b.cfg.JournalBucket, journalSharedPrefix+id+"/"); err == nil {
 		for _, k := range keys {
 			_ = store.Delete(b.cfg.JournalBucket, k)

@@ -1,7 +1,6 @@
 package broker
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +10,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/cloud"
+	"repro/internal/journal"
 )
 
 // The broker's durability model is the paper's own: all coordination
@@ -102,17 +102,25 @@ func sharedKey(jobID, name string) string {
 	return journalSharedPrefix + jobID + "/" + name
 }
 
-// journal appends a job's events to its blob object, one JSON line per
-// event — the append-blob pattern of a durable control plane.
-type journal struct {
-	store  *blob.Store
-	bucket string
-	key    string
+// jobJournal is a job's durable event log: an internal/journal Log plus
+// the compaction policy. The broker used to carry its own append/create
+// implementation over the blob store; that machinery now lives in the
+// shared journal package (queue shards journal through the same code),
+// and what remains here is the broker-specific part — Event encoding
+// and the jobRecord snapshot.
+type jobJournal struct {
+	log journal.Log
+	// snapEvery bounds replay: after this many appended events the
+	// folded jobRecord is snapshotted and the log truncated. <= 0
+	// disables compaction. appends counts events since the last
+	// snapshot; both are guarded by the owning Job's mutex.
+	snapEvery int
+	appends   int
 }
 
 // append journals one event. The caller must not act on a state
 // transition whose append failed: the journal is the source of truth.
-func (jl *journal) append(ev Event) error {
+func (jl *jobJournal) append(ev Event) error {
 	if jl == nil {
 		return nil
 	}
@@ -120,17 +128,18 @@ func (jl *journal) append(ev Event) error {
 	if err != nil {
 		return fmt.Errorf("broker: encoding journal event: %w", err)
 	}
-	if _, err := jl.store.Append(jl.bucket, jl.key, append(line, '\n')); err != nil {
-		return fmt.Errorf("broker: journaling %s: %w", jl.key, err)
+	if err := jl.log.Append(line); err != nil {
+		return fmt.Errorf("broker: journaling %s: %w", jl.log.Key, err)
 	}
 	return nil
 }
 
-// create opens the journal with its first event, using the blob store's
-// compare-and-swap so the create is exclusive: a restarted broker that
-// reuses a job ID without having Recover()ed cannot silently append a
-// second submission onto a dead broker's journal and corrupt it.
-func (jl *journal) create(ev Event) error {
+// create opens the journal with its first event, using the journal
+// package's compare-and-swap creation so the create is exclusive: a
+// restarted broker that reuses a job ID without having Recover()ed
+// cannot silently append a second submission onto a dead broker's
+// journal and corrupt it.
+func (jl *jobJournal) create(ev Event) error {
 	if jl == nil {
 		return nil
 	}
@@ -138,31 +147,92 @@ func (jl *journal) create(ev Event) error {
 	if err != nil {
 		return fmt.Errorf("broker: encoding journal event: %w", err)
 	}
-	if _, err := jl.store.PutIf(jl.bucket, jl.key, append(line, '\n'), 0); err != nil {
-		if errors.Is(err, blob.ErrPreconditionFailed) {
-			return fmt.Errorf("broker: journal %s already exists (restarted without Recover?): %w", jl.key, err)
+	if err := jl.log.Create(line); err != nil {
+		if errors.Is(err, journal.ErrExists) {
+			return fmt.Errorf("broker: journal %s already exists (restarted without Recover?): %w", jl.log.Key, err)
 		}
-		return fmt.Errorf("broker: opening journal %s: %w", jl.key, err)
+		return fmt.Errorf("broker: opening journal %s: %w", jl.log.Key, err)
 	}
 	return nil
 }
 
-// readJournal loads and decodes one job's full journal.
+// maybeCompact snapshots the folded record and truncates the journal
+// once snapEvery events have accumulated — the fix for journals that
+// grew one checkpoint per drained monitor batch forever. Compaction is
+// best-effort: a failure leaves the journal longer but complete, and
+// the counter stays up so the next event retries. Caller holds the
+// owning Job's mutex, so no append can race the truncation CAS.
+func (jl *jobJournal) maybeCompact(rec *jobRecord) {
+	if jl == nil || jl.snapEvery <= 0 {
+		return
+	}
+	jl.appends++
+	if jl.appends < jl.snapEvery {
+		return
+	}
+	state, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if err := jl.log.Snapshot(state); err != nil {
+		return
+	}
+	jl.appends = 0
+}
+
+// readJournal loads and decodes the events currently in one job's
+// journal. For a compacted journal these are only the events since the
+// last snapshot; loadJobRecord is the full-state read.
 func readJournal(store *blob.Store, bucket, jobID string) ([]Event, error) {
-	data, err := store.GetConsistent(bucket, journalKey(jobID))
+	v, err := (journal.Log{Store: store, Bucket: bucket, Key: journalKey(jobID)}).Load()
 	if err != nil {
 		return nil, err
 	}
-	return decodeJournal(data)
+	return decodeEntries(v.Entries)
+}
+
+// loadJobRecord rebuilds one job's full folded state: the snapshot of
+// the journal's current epoch (when compaction has run) plus a replay
+// of every event appended since. Replay cost is bounded by the
+// compaction cadence, not by job length.
+func loadJobRecord(store *blob.Store, bucket, jobID string) (*jobRecord, error) {
+	v, err := (journal.Log{Store: store, Bucket: bucket, Key: journalKey(jobID)}).Load()
+	if err != nil {
+		return nil, err
+	}
+	events, err := decodeEntries(v.Entries)
+	if err != nil {
+		return nil, err
+	}
+	if v.Snapshot == nil {
+		return foldJournal(jobID, events)
+	}
+	rec := &jobRecord{}
+	if err := json.Unmarshal(v.Snapshot, rec); err != nil {
+		return nil, fmt.Errorf("broker: decoding snapshot for %s: %w", jobID, err)
+	}
+	rec.ID = jobID
+	for _, ev := range events {
+		if err := rec.apply(ev); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
 }
 
 // decodeJournal parses JSON-lines journal bytes.
 func decodeJournal(data []byte) ([]Event, error) {
+	entries, err := journal.SplitEntries(data)
+	if err != nil {
+		return nil, fmt.Errorf("broker: %w", err)
+	}
+	return decodeEntries(entries)
+}
+
+// decodeEntries decodes journal records into Events.
+func decodeEntries(entries [][]byte) ([]Event, error) {
 	var events []Event
-	for i, line := range bytes.Split(data, []byte("\n")) {
-		if len(bytes.TrimSpace(line)) == 0 {
-			continue
-		}
+	for i, line := range entries {
 		var ev Event
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return nil, fmt.Errorf("broker: journal line %d: %w", i+1, err)
@@ -209,9 +279,10 @@ func SyntheticJournal(nTasks int, base time.Time) ([]byte, error) {
 	return doc, nil
 }
 
-// listJournaledJobs returns the job IDs with a journal in the bucket.
+// listJournaledJobs returns the job IDs with a journal in the bucket
+// (snapshot objects are not journals and are excluded).
 func listJournaledJobs(store *blob.Store, bucket string) ([]string, error) {
-	keys, err := store.List(bucket, journalJobPrefix)
+	keys, err := journal.List(store, bucket, journalJobPrefix)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/blob"
+	"repro/internal/journal"
 )
 
 func ts(sec int) time.Time { return time.Unix(9000+int64(sec), 0) }
@@ -152,7 +153,7 @@ func TestJournalBlobRoundTrip(t *testing.T) {
 	if err := store.CreateBucket("broker-journal"); err != nil {
 		t.Fatal(err)
 	}
-	jl := &journal{store: store, bucket: "broker-journal", key: journalKey("job-0042")}
+	jl := &jobJournal{log: journal.Log{Store: store, Bucket: "broker-journal", Key: journalKey("job-0042")}}
 	events := []Event{
 		submittedEvent(),
 		{Type: EvScaledUp, Time: ts(1), InstanceID: 0, Fleet: 1, Reason: "initial fleet"},
@@ -182,5 +183,81 @@ func TestJournalBlobRoundTrip(t *testing.T) {
 	if _, err := decodeJournal([]byte("{not json\n")); err == nil ||
 		!strings.Contains(err.Error(), "journal line 1") {
 		t.Errorf("corrupt line error = %v", err)
+	}
+}
+
+// Compaction: once snapEvery events accumulate, the journal is
+// truncated to a snapshot of the folded record, the replay tail stays
+// bounded no matter how many checkpoints a long job writes, and the
+// recovery fold over snapshot + tail matches a fold over the full
+// history.
+func TestJournalCompactionBoundsReplay(t *testing.T) {
+	store := blob.NewStore(blob.Config{})
+	if err := store.CreateBucket("broker-journal"); err != nil {
+		t.Fatal(err)
+	}
+	const snapEvery = 8
+	jl := &jobJournal{
+		log:       journal.Log{Store: store, Bucket: "broker-journal", Key: journalKey("job-0042")},
+		snapEvery: snapEvery,
+	}
+	// Drive the journal exactly as recordLocked does: journal, fold,
+	// tick compaction.
+	record := func(rec *jobRecord, ev Event) {
+		t.Helper()
+		var err error
+		if ev.Type == EvSubmitted {
+			err = jl.create(ev)
+		} else {
+			err = jl.append(ev)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.apply(ev); err != nil {
+			t.Fatal(err)
+		}
+		jl.maybeCompact(rec)
+	}
+
+	const nTasks = 100
+	taskIDs := make([]string, nTasks)
+	for i := range taskIDs {
+		taskIDs[i] = ts(i).Format("t0405.000")
+	}
+	sub := submittedEvent()
+	sub.TaskIDs = taskIDs
+	live := &jobRecord{ID: "job-0042"}
+	record(live, sub)
+	record(live, Event{Type: EvScaledUp, Time: ts(1), InstanceID: 0, Fleet: 1, Reason: "initial fleet"})
+	for i, id := range taskIDs {
+		record(live, Event{Type: EvCheckpoint, Time: ts(2 + i), Done: []string{id}})
+	}
+	record(live, Event{Type: EvScaledDown, Time: ts(200), InstanceID: 0, Reason: "drained"})
+	record(live, Event{Type: EvCompleted, Time: ts(201)})
+
+	v, err := jl.log.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Snapshot == nil {
+		t.Fatal("no snapshot after 100+ events")
+	}
+	if len(v.Entries) >= snapEvery {
+		t.Errorf("replay tail holds %d events, want < %d — compaction is not bounding replay", len(v.Entries), snapEvery)
+	}
+
+	rec, err := loadJobRecord(store, "broker-journal", "job-0042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateCompleted || len(rec.Done) != nTasks || rec.ID != "job-0042" {
+		t.Errorf("recovered fold: state=%s done=%d", rec.State, len(rec.Done))
+	}
+	if rec.fleetSize() != 0 || len(rec.Ledger) != 1 {
+		t.Errorf("recovered ledger: fleet=%d entries=%d", rec.fleetSize(), len(rec.Ledger))
+	}
+	if len(rec.Events) != len(live.Events) {
+		t.Errorf("scaling events: recovered %d, live %d", len(rec.Events), len(live.Events))
 	}
 }

@@ -54,7 +54,7 @@ type Job struct {
 	// requested (live submissions only; recovered jobs keep the planned
 	// numbers in core).
 	plan *perfmodel.Selection
-	jl   *journal
+	jl   *jobJournal
 
 	tasks       []classiccloud.Task
 	crashBudget atomic.Int64
@@ -93,7 +93,11 @@ func (j *Job) recordLocked(ev Event) error {
 	if err != nil {
 		return err
 	}
-	return j.core.apply(ev)
+	if err := j.core.apply(ev); err != nil {
+		return err
+	}
+	j.jl.maybeCompact(&j.core)
+	return nil
 }
 
 // run is the job's control loop: drain the monitor queue, observe the
@@ -560,13 +564,15 @@ func (j *Job) DeadLetters() []string {
 	return out
 }
 
-// Journal returns the job's full event journal, read back from the blob
-// store (nil when journaling is disabled).
+// Journal returns the job's event journal, read back from the blob
+// store (nil when journaling is disabled). For a compacted journal only
+// the events since the last snapshot remain — the earlier history has
+// been folded into the snapshot that bounds recovery replay.
 func (j *Job) Journal() ([]Event, error) {
 	if j.jl == nil {
 		return nil, nil
 	}
-	return readJournal(j.jl.store, j.jl.bucket, j.ID)
+	return readJournal(j.jl.log.Store, j.jl.log.Bucket, j.ID)
 }
 
 // CostReport prices the job's fleet in the paper's hour-unit

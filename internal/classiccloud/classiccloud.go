@@ -537,9 +537,9 @@ func (inst *Instance) workerLoop(workerID int) {
 	}
 }
 
-// processBatch runs every task of one receive batch, then acknowledges
-// the completed ones with a single batch delete and reports them with a
-// single batch send — 3 queue requests per batch on the happy path.
+// processBatch runs every task of one receive batch, then reports the
+// completed ones with a single batch send and acknowledges them with a
+// single batch delete — 3 queue requests per batch on the happy path.
 func (inst *Instance) processBatch(workerID int, msgs []queue.Message) {
 	// One lease renewer covers the whole batch: tasks queued behind a
 	// slow one must keep their leases alive too.
@@ -586,6 +586,14 @@ func (inst *Instance) processBatch(workerID int, msgs []queue.Message) {
 			renew.remove(m.ReceiptHandle)
 		}
 	}
+	// Report BEFORE deleting: a crash between the two then redelivers
+	// the task — re-executed (idempotent) and re-reported (the broker's
+	// fold drops settled repeats) — instead of silently losing the
+	// settlement of a deleted task, which no retry would ever repair.
+	for start := 0; start < len(reports); start += queue.MaxBatch {
+		end := min(start+queue.MaxBatch, len(reports))
+		_, _ = inst.env.Queue.SendMessageBatch(inst.cfg.monitorQueue(), reports[start:end])
+	}
 	for start := 0; start < len(ackReceipts); start += queue.MaxBatch {
 		end := min(start+queue.MaxBatch, len(ackReceipts))
 		results, err := inst.env.Queue.DeleteMessageBatch(inst.cfg.taskQueue(), ackReceipts[start:end])
@@ -600,10 +608,6 @@ func (inst *Instance) processBatch(workerID int, msgs []queue.Message) {
 				inst.stats.StaleDeletes.Add(1)
 			}
 		}
-	}
-	for start := 0; start < len(reports); start += queue.MaxBatch {
-		end := min(start+queue.MaxBatch, len(reports))
-		_, _ = inst.env.Queue.SendMessageBatch(inst.cfg.monitorQueue(), reports[start:end])
 	}
 }
 

@@ -115,7 +115,7 @@ func (s *legacyService) DeleteMessage(name, receipt string) error {
 			return nil
 		}
 	}
-	return ErrInvalidReceipt
+	return ErrStaleReceipt
 }
 
 // seedDead bulk-loads n already-deleted messages, so benchmarks can set
@@ -145,7 +145,7 @@ func (s *legacyService) ChangeVisibility(name, receipt string, d time.Duration) 
 			return nil
 		}
 	}
-	return ErrInvalidReceipt
+	return ErrStaleReceipt
 }
 
 func (s *legacyService) ApproximateCount(name string) (int, int, error) {

@@ -499,7 +499,7 @@ func writeQueueError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNoSuchQueue):
 		http.Error(w, err.Error(), http.StatusNotFound)
-	case errors.Is(err, ErrInvalidReceipt):
+	case errors.Is(err, ErrStaleReceipt):
 		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, ErrNotPrivileged):
 		http.Error(w, err.Error(), http.StatusForbidden)

@@ -79,7 +79,7 @@ func TestHTTPVisibilityTimeoutOverWire(t *testing.T) {
 	if m2.Receives != 2 {
 		t.Errorf("receives = %d", m2.Receives)
 	}
-	// Stale handle → 409 → wraps ErrStaleReceipt (née ErrInvalidReceipt).
+	// Stale handle → 409 → wraps ErrStaleReceipt.
 	if err := c.Delete("q", m1.ReceiptHandle); !errors.Is(err, ErrStaleReceipt) {
 		t.Errorf("stale delete: %v", err)
 	}
@@ -191,8 +191,8 @@ func TestHTTPBatchRoundTrip(t *testing.T) {
 			t.Errorf("delete %d: %v", i, results[i])
 		}
 	}
-	if results[3] != ErrInvalidReceipt {
-		t.Errorf("bogus receipt: %v, want ErrInvalidReceipt", results[3])
+	if results[3] != ErrStaleReceipt {
+		t.Errorf("bogus receipt: %v, want ErrStaleReceipt", results[3])
 	}
 	// Three batch calls = three billed requests, not seven.
 	if got := svc.APIRequestsFor("q") - base; got != 3 {

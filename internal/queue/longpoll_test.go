@@ -250,8 +250,8 @@ func TestBatchDeletePartialFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !errors.Is(results[0], ErrInvalidReceipt) {
-		t.Errorf("stale entry: %v, want ErrInvalidReceipt", results[0])
+	if !errors.Is(results[0], ErrStaleReceipt) {
+		t.Errorf("stale entry: %v, want ErrStaleReceipt", results[0])
 	}
 	if results[1] != nil || results[2] != nil {
 		t.Errorf("fresh entries: %v, %v", results[1], results[2])
@@ -288,7 +288,7 @@ func TestReceiveBatchVisibilityAndReceipts(t *testing.T) {
 		redelivered[m.ID] = m.ReceiptHandle
 	}
 	for _, m := range append(first, second...) {
-		if err := s.DeleteMessage("q", m.ReceiptHandle); !errors.Is(err, ErrInvalidReceipt) {
+		if err := s.DeleteMessage("q", m.ReceiptHandle); !errors.Is(err, ErrStaleReceipt) {
 			t.Errorf("stale batch receipt for %s accepted: %v", m.ID, err)
 		}
 		if err := s.DeleteMessage("q", redelivered[m.ID]); err != nil {

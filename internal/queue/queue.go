@@ -171,6 +171,14 @@ type Config struct {
 	// services sharing one registry — e.g. the local shards of a router —
 	// stay distinguishable. Empty omits the label.
 	MetricsName string
+	// Durability, when set, journals every accepted mutation to a
+	// blob-store journal before committing it, enabling Recover (fold
+	// the journal back into exact state after a crash) and Follower
+	// (replicate it onto a standby). Recover must be called before the
+	// service takes traffic. Nil — the default — keeps the service
+	// purely in-memory with no hot-path cost beyond a nil check. See
+	// durable.go.
+	Durability *Durability
 }
 
 func (c Config) withDefaults() Config {
@@ -243,6 +251,13 @@ type Service struct {
 	// cfg.Metrics is unset, and every instrumentation site checks that
 	// first so the uninstrumented path pays one branch, not a clock read.
 	met *serviceMetrics
+	// dur is the journaling state behind Config.Durability; nil for
+	// ephemeral services.
+	dur *durableState
+	// halted flips once at Halt; haltCh is closed then so blocked long
+	// polls wake and fail.
+	halted atomic.Bool
+	haltCh chan struct{}
 }
 
 // serviceOps is the set of message-path operations that get their own
@@ -404,7 +419,11 @@ type queueState struct {
 	// byReceipt indexes live messages by their latest receipt handle for
 	// O(log n) DeleteMessage / ChangeVisibility.
 	byReceipt map[string]*message
-	nextID    int
+	// byID indexes live messages by message ID — the stable name
+	// journal records refer to across restarts, where receipt handles
+	// rotate per delivery.
+	byID   map[string]*message
+	nextID int
 	// notify is closed and replaced to broadcast "a message may have
 	// become visible" to long-poll waiters.
 	notify chan struct{}
@@ -455,10 +474,6 @@ var (
 	// delivery count.
 	ErrBadTransfer = errors.New("queue: transfer receive count must be non-negative")
 )
-
-// ErrInvalidReceipt is the historical name of ErrStaleReceipt; both
-// names compare equal under errors.Is.
-var ErrInvalidReceipt = ErrStaleReceipt
 
 // API is the queue-service surface shared by every implementation: the
 // in-process Service, the HTTPClient speaking to a remote service, and
@@ -536,10 +551,61 @@ type Transferrer interface {
 	TransferInBatch(queueName string, items []TransferItem) ([]string, error)
 }
 
+// Recoverer is the durability capability: implementations rebuild
+// their state from a journal and must do so (once) before taking
+// traffic. Implemented by *Service when Config.Durability is set.
+type Recoverer interface {
+	Recover() error
+}
+
+// Pinger is the liveness capability: a probe cheaper than any billed
+// call, returning nil while the implementation can serve traffic.
+// Shard failover health checks prefer it over real requests.
+type Pinger interface {
+	Ping() error
+}
+
+// CapabilitySet names every optional surface an API implementation may
+// offer beyond the core interface. Fields are nil when the
+// implementation does not offer that capability.
+type CapabilitySet struct {
+	Transfer Transferrer
+	Depth    DepthReporter
+	Trace    TraceScoper
+	Recover  Recoverer
+	Ping     Pinger
+}
+
+// Capabilities discovers the optional surfaces of an API in one place,
+// replacing scattered type assertions at call sites. The result is a
+// snapshot: capability membership is a property of the implementation
+// type and does not change at runtime.
+func Capabilities(api API) CapabilitySet {
+	var c CapabilitySet
+	if t, ok := api.(Transferrer); ok {
+		c.Transfer = t
+	}
+	if d, ok := api.(DepthReporter); ok {
+		c.Depth = d
+	}
+	if t, ok := api.(TraceScoper); ok {
+		c.Trace = t
+	}
+	if r, ok := api.(Recoverer); ok {
+		c.Recover = r
+	}
+	if p, ok := api.(Pinger); ok {
+		c.Ping = p
+	}
+	return c
+}
+
 var (
 	_ API           = (*Service)(nil)
 	_ Transferrer   = (*Service)(nil)
 	_ DepthReporter = (*Service)(nil)
+	_ Recoverer     = (*Service)(nil)
+	_ Pinger        = (*Service)(nil)
 )
 
 // NewService creates a queue service.
@@ -547,6 +613,10 @@ func NewService(cfg Config) *Service {
 	s := &Service{
 		cfg:    cfg.withDefaults(),
 		queues: make(map[string]*queueState),
+		haltCh: make(chan struct{}),
+	}
+	if s.cfg.Durability != nil {
+		s.dur = newDurableState(s.cfg.Durability)
 	}
 	if s.cfg.ServiceTime > 0 {
 		s.slots = make(chan struct{}, s.cfg.ServiceConcurrency)
@@ -653,40 +723,58 @@ func (s *Service) CreateQueue(name string) error {
 	if name == "" {
 		return ErrEmptyQueueName
 	}
+	if s.halted.Load() {
+		return ErrHalted
+	}
 	s.count(name)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.queues[name]; ok {
-		return ErrQueueExists
-	}
-	s.queues[name] = &queueState{
-		name:       name,
-		poolBodies: s.cfg.DuplicateProb == 0,
-		rng:        rand.New(rand.NewSource(queueSeed(s.cfg.Seed, name))),
-		visible:    list.New(),
-		byReceipt:  make(map[string]*message),
-		notify:     make(chan struct{}),
-	}
-	return nil
+	return s.durAppend(func(ds *durableState) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.queues[name]; ok {
+			return ErrQueueExists
+		}
+		if ds != nil {
+			if err := ds.append(&durRecord{Op: opCreateQueue, Q: name}); err != nil {
+				return err
+			}
+		}
+		s.queues[name] = s.newQueueStateLocked(name)
+		return nil
+	})
 }
 
 // DeleteQueue removes a queue and its messages. Receivers blocked in a
 // long poll on the queue wake with ErrNoSuchQueue.
 func (s *Service) DeleteQueue(name string) error {
-	s.count(name)
-	s.mu.Lock()
-	q, ok := s.queues[name]
-	if !ok {
-		s.mu.Unlock()
-		return ErrNoSuchQueue
+	if s.halted.Load() {
+		return ErrHalted
 	}
-	delete(s.queues, name)
-	s.mu.Unlock()
-	q.mu.Lock()
-	q.dead = true
-	q.broadcastLocked()
-	q.mu.Unlock()
-	return nil
+	s.count(name)
+	return s.durAppend(func(ds *durableState) error {
+		s.mu.Lock()
+		q, ok := s.queues[name]
+		if !ok {
+			s.mu.Unlock()
+			return ErrNoSuchQueue
+		}
+		// The delete record is appended under q.mu so it serializes
+		// against in-flight message records on this queue: no send can
+		// land in the journal after the queue's deletion.
+		q.mu.Lock()
+		if ds != nil {
+			if err := ds.append(&durRecord{Op: opDeleteQueue, Q: name}); err != nil {
+				q.mu.Unlock()
+				s.mu.Unlock()
+				return err
+			}
+		}
+		delete(s.queues, name)
+		s.mu.Unlock()
+		q.dead = true
+		q.broadcastLocked()
+		q.mu.Unlock()
+		return nil
+	})
 }
 
 // ListQueues returns queue names sorted.
@@ -706,16 +794,19 @@ func (s *Service) ListQueues() []string {
 // receivers are handed the stored copy and must not mutate it.
 func (s *Service) SendMessage(queueName string, body []byte) (string, error) {
 	defer s.opDone("send", s.opStart())
+	if s.halted.Load() {
+		return "", ErrHalted
+	}
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
 		return "", err
 	}
-	q.mu.Lock()
-	id := q.sendLocked(queueName, body, 0)
-	q.broadcastLocked()
-	q.mu.Unlock()
-	return id, nil
+	ids, err := s.sendBatch(q, [][]byte{body}, nil)
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
 }
 
 // SendMessageBatch enqueues up to MaxBatch bodies in one call, billed as
@@ -726,19 +817,15 @@ func (s *Service) SendMessageBatch(queueName string, bodies [][]byte) ([]string,
 		return nil, ErrBatchSize
 	}
 	defer s.opDone("send_batch", s.opStart())
+	if s.halted.Load() {
+		return nil, ErrHalted
+	}
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]string, 0, len(bodies))
-	q.mu.Lock()
-	for _, body := range bodies {
-		ids = append(ids, q.sendLocked(queueName, body, 0))
-	}
-	q.broadcastLocked()
-	q.mu.Unlock()
-	return ids, nil
+	return s.sendBatch(q, bodies, nil)
 }
 
 // TransferIn enqueues a message carrying `receives` prior deliveries —
@@ -766,18 +853,59 @@ func (s *Service) TransferInBatch(queueName string, items []TransferItem) ([]str
 		}
 	}
 	defer s.opDone("transfer", s.opStart())
+	if s.halted.Load() {
+		return nil, ErrHalted
+	}
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]string, 0, len(items))
-	q.mu.Lock()
-	for _, it := range items {
-		ids = append(ids, q.sendLocked(queueName, it.Body, it.Receives))
+	bodies := make([][]byte, len(items))
+	recvs := make([]int, len(items))
+	for i, it := range items {
+		bodies[i], recvs[i] = it.Body, it.Receives
 	}
-	q.broadcastLocked()
-	q.mu.Unlock()
+	return s.sendBatch(q, bodies, recvs)
+}
+
+// sendBatch journals (when durable) and enqueues a batch of bodies
+// with prior delivery counts (nil recvs means all zero), returning the
+// assigned message IDs. The journal record carries the IDs the commit
+// will assign — computed from nextID before sendLocked advances it —
+// so a fold reproduces them exactly.
+func (s *Service) sendBatch(q *queueState, bodies [][]byte, recvs []int) ([]string, error) {
+	ids := make([]string, 0, len(bodies))
+	err := s.durAppend(func(ds *durableState) error {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.dead {
+			return ErrNoSuchQueue
+		}
+		if ds != nil {
+			rec := &durRecord{Op: opSend, Q: q.name, Recvs: recvs, NextID: q.nextID + len(bodies)}
+			rec.IDs = make([]string, len(bodies))
+			for i := range bodies {
+				rec.IDs[i] = fmt.Sprintf("%s-%d", q.name, q.nextID+i+1)
+			}
+			rec.Bodies = bodies
+			if err := ds.append(rec); err != nil {
+				return err
+			}
+		}
+		for i, body := range bodies {
+			r := 0
+			if recvs != nil {
+				r = recvs[i]
+			}
+			ids = append(ids, q.sendLocked(q.name, body, r))
+		}
+		q.broadcastLocked()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return ids, nil
 }
 
@@ -797,6 +925,7 @@ func (q *queueState) sendLocked(queueName string, body []byte, receives int) str
 		m.body = append([]byte(nil), body...)
 	}
 	m.elem = q.visible.PushBack(m)
+	q.byID[m.id] = m
 	return m.id
 }
 
@@ -823,42 +952,116 @@ func (q *queueState) expireLocked(now time.Time) {
 	}
 }
 
-// receiveOneLocked delivers one visible message, or ok=false when none
-// is deliverable. Caller holds q.mu and has already run expireLocked.
-func (s *Service) receiveOneLocked(q *queueState, now time.Time, visibility time.Duration) (Message, bool) {
-	n := q.visible.Len()
-	if n == 0 {
-		return Message{}, false
+// delivery is one planned receive: the message, whether it is a
+// duplicate delivery (stays visible), and the delivery count and
+// receipt handle it will carry. Planning is separated from committing
+// so a durable service can journal the whole batch between the two —
+// the plan mutates nothing but the rng.
+type delivery struct {
+	m        *message
+	dup      bool
+	receives int
+	receipt  string
+}
+
+// planReceivesLocked selects up to max deliverable messages without
+// mutating queue state, reproducing receive semantics exactly: each
+// pick is uniform over the first ShuffleWindow still-deliverable
+// visible messages (non-duplicate picks are virtually hidden for later
+// picks in the same batch, duplicates stay eligible), and the rng draw
+// sequence matches what sequential single receives would consume.
+// Caller holds q.mu and has already run expireLocked.
+func (s *Service) planReceivesLocked(q *queueState, max int) []delivery {
+	var plan []delivery
+	var hidden []*message
+	isHidden := func(m *message) bool {
+		for _, h := range hidden {
+			if h == m {
+				return true
+			}
+		}
+		return false
 	}
-	if n > s.cfg.ShuffleWindow {
-		n = s.cfg.ShuffleWindow
+	for len(plan) < max {
+		var cands []*message
+		for e := q.visible.Front(); e != nil && len(cands) < s.cfg.ShuffleWindow; e = e.Next() {
+			m := e.Value.(*message)
+			if isHidden(m) {
+				continue
+			}
+			cands = append(cands, m)
+		}
+		if len(cands) == 0 {
+			break
+		}
+		m := cands[q.rng.Intn(len(cands))]
+		dup := s.cfg.DuplicateProb > 0 && q.rng.Float64() < s.cfg.DuplicateProb
+		recvs := m.receives + 1
+		for i := range plan {
+			if plan[i].m == m {
+				recvs++
+			}
+		}
+		plan = append(plan, delivery{
+			m:        m,
+			dup:      dup,
+			receives: recvs,
+			receipt:  fmt.Sprintf("%s#r%d", m.id, recvs),
+		})
+		if !dup {
+			hidden = append(hidden, m)
+		}
 	}
-	e := q.visible.Front()
-	for i := q.rng.Intn(n); i > 0; i-- {
-		e = e.Next()
+	return plan
+}
+
+// commitDeliveriesLocked applies a planned batch: delivery counts,
+// receipt rotation, and lease placement (duplicates stay visible).
+// Caller holds q.mu; on a durable service the batch's journal record
+// has already been appended.
+func (q *queueState) commitDeliveriesLocked(plan []delivery, now time.Time, visibility time.Duration) []Message {
+	out := make([]Message, 0, len(plan))
+	for i := range plan {
+		d := &plan[i]
+		m := d.m
+		m.receives = d.receives
+		if m.receipt != "" {
+			delete(q.byReceipt, m.receipt)
+		}
+		m.receipt = d.receipt
+		q.byReceipt[m.receipt] = m
+		if !d.dup {
+			q.visible.Remove(m.elem)
+			m.elem = nil
+			m.visibleAt = now.Add(visibility)
+			heap.Push(&q.inflight, m)
+		}
+		out = append(out, Message{
+			ID:            m.id,
+			Body:          m.body, // stored copy; read-only contract
+			ReceiptHandle: m.receipt,
+			Receives:      m.receives,
+		})
 	}
-	m := e.Value.(*message)
-	m.receives++
-	if m.receipt != "" {
-		delete(q.byReceipt, m.receipt)
+	return out
+}
+
+// recvRecord renders a planned batch as its journal record. Vis
+// carries the lease expiry each non-duplicate commit will set.
+func recvRecord(q *queueState, plan []delivery, now time.Time, visibility time.Duration) *durRecord {
+	rec := &durRecord{Op: opReceive, Q: q.name, T: now}
+	for i := range plan {
+		d := &plan[i]
+		rec.IDs = append(rec.IDs, d.m.id)
+		rec.Receipts = append(rec.Receipts, d.receipt)
+		if d.dup {
+			rec.Vis = append(rec.Vis, time.Time{})
+		} else {
+			rec.Vis = append(rec.Vis, now.Add(visibility))
+		}
+		rec.Dup = append(rec.Dup, d.dup)
 	}
-	m.receipt = fmt.Sprintf("%s#r%d", m.id, m.receives)
-	q.byReceipt[m.receipt] = m
-	duplicate := s.cfg.DuplicateProb > 0 && q.rng.Float64() < s.cfg.DuplicateProb
-	if duplicate {
-		// Deliver without hiding: the next receiver may get it too.
-	} else {
-		q.visible.Remove(e)
-		m.elem = nil
-		m.visibleAt = now.Add(visibility)
-		heap.Push(&q.inflight, m)
-	}
-	return Message{
-		ID:            m.id,
-		Body:          m.body, // stored copy; read-only contract
-		ReceiptHandle: m.receipt,
-		Receives:      m.receives,
-	}, true
+	return rec
 }
 
 // ReceiveMessage pops a visible message, hiding it for the visibility
@@ -894,10 +1097,24 @@ func (s *Service) ReceiveMessageBatch(queueName string, visibility time.Duration
 	return s.receiveBatchWait(queueName, visibility, max, wait)
 }
 
+// pollState is what one receive attempt reports back to the long-poll
+// loop: the clock reading it used and — when it delivered nothing —
+// the wake channels captured atomically with the emptiness check.
+type pollState struct {
+	now      time.Time
+	notify   chan struct{}
+	expiryIn time.Duration // time to earliest in-flight expiry; 0 = none
+}
+
 // receiveBatchWait is the shared receive core: one billed request, up to
-// max messages, blocking up to wait for the first one.
+// max messages, blocking up to wait for the first one. Each attempt is
+// plan → (journal) → commit so a durable service records the batch
+// before any caller can observe it.
 func (s *Service) receiveBatchWait(queueName string, visibility time.Duration, max int, wait time.Duration) ([]Message, error) {
 	defer s.opDone("receive", s.opStart())
+	if s.halted.Load() {
+		return nil, ErrHalted
+	}
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -924,40 +1141,59 @@ func (s *Service) receiveBatchWait(queueName string, visibility time.Duration, m
 		if an, ok := s.cfg.Clock.(AdvanceNotifier); ok {
 			advC = an.AdvanceCh()
 		}
-		q.mu.Lock()
-		if q.dead {
-			q.mu.Unlock()
-			return nil, ErrNoSuchQueue
+		if s.halted.Load() {
+			return nil, ErrHalted
 		}
-		now := s.cfg.Clock.Now()
-		q.expireLocked(now)
 		var out []Message
-		for len(out) < max {
-			m, ok := s.receiveOneLocked(q, now, visibility)
-			if !ok {
-				break
+		var ps pollState
+		err := s.durAppend(func(ds *durableState) error {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			if q.dead {
+				return ErrNoSuchQueue
 			}
-			out = append(out, m)
+			ps.now = s.cfg.Clock.Now()
+			q.expireLocked(ps.now)
+			plan := s.planReceivesLocked(q, max)
+			if len(plan) > 0 {
+				if ds != nil {
+					if err := ds.append(recvRecord(q, plan, ps.now, visibility)); err != nil {
+						return err
+					}
+				}
+				out = q.commitDeliveriesLocked(plan, ps.now, visibility)
+				return nil
+			}
+			// Nothing deliverable: capture the wake channels while still
+			// holding the lock so a send between here and the select
+			// below cannot slip past unnoticed.
+			ps.notify = q.notify
+			if len(q.inflight) > 0 {
+				if d := q.inflight[0].visibleAt.Sub(ps.now); d > 0 {
+					ps.expiryIn = d
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		if len(out) > 0 || wait <= 0 || !now.Before(deadline) {
-			q.mu.Unlock()
+		if len(out) > 0 || wait <= 0 || !ps.now.Before(deadline) {
 			return out, nil
 		}
-		notify := q.notify
 		// Wake when the earliest in-flight lease expires.
 		var expiry *time.Timer
 		var expiryC <-chan time.Time
-		if len(q.inflight) > 0 {
-			if d := q.inflight[0].visibleAt.Sub(now); d > 0 {
-				expiry = time.NewTimer(d)
-				expiryC = expiry.C
-			}
+		if ps.expiryIn > 0 {
+			expiry = time.NewTimer(ps.expiryIn)
+			expiryC = expiry.C
 		}
-		q.mu.Unlock()
 		select {
-		case <-notify:
+		case <-ps.notify:
 		case <-advC:
 		case <-expiryC:
+		case <-s.haltCh:
+			// Loop: the halted check at the top fails the poll.
 		case <-overallC:
 			if expiry != nil {
 				expiry.Stop()
@@ -972,62 +1208,113 @@ func (s *Service) receiveBatchWait(queueName string, visibility time.Duration, m
 
 // DeleteMessage acknowledges a message by its most recent receipt handle.
 // A stale handle (the message timed out and was redelivered) returns
-// ErrInvalidReceipt, matching SQS's contract that only the latest receipt
+// ErrStaleReceipt, matching SQS's contract that only the latest receipt
 // is authoritative. The message is removed from every index immediately,
 // so deleted messages occupy no memory and slow no later operation.
 func (s *Service) DeleteMessage(queueName, receiptHandle string) error {
 	defer s.opDone("delete", s.opStart())
+	if s.halted.Load() {
+		return ErrHalted
+	}
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
 		return err
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.deleteLocked(receiptHandle)
+	return s.durAppend(func(ds *durableState) error {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		m, ok := q.byReceipt[receiptHandle]
+		if !ok {
+			return ErrStaleReceipt
+		}
+		if ds != nil {
+			if err := ds.append(&durRecord{Op: opDelete, Q: q.name, IDs: []string{m.id}}); err != nil {
+				return err
+			}
+		}
+		q.removeLocked(m)
+		return nil
+	})
 }
 
 // DeleteMessageBatch acknowledges up to MaxBatch messages in one call,
 // billed as a single API request. The returned slice has one entry per
-// receipt: nil on success, ErrInvalidReceipt for stale handles — partial
+// receipt: nil on success, ErrStaleReceipt for stale handles — partial
 // failure does not abort the rest of the batch, matching SQS.
 func (s *Service) DeleteMessageBatch(queueName string, receipts []string) ([]error, error) {
 	if len(receipts) == 0 || len(receipts) > MaxBatch {
 		return nil, ErrBatchSize
 	}
 	defer s.opDone("delete_batch", s.opStart())
+	if s.halted.Load() {
+		return nil, ErrHalted
+	}
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]error, len(receipts))
-	q.mu.Lock()
-	for i, r := range receipts {
-		results[i] = q.deleteLocked(r)
+	err = s.durAppend(func(ds *durableState) error {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		// Claim receipts as they validate so a receipt repeated within
+		// the batch fails its second entry, exactly like sequential
+		// deletes would.
+		var victims []*message
+		for i, r := range receipts {
+			m, ok := q.byReceipt[r]
+			if !ok {
+				results[i] = ErrStaleReceipt
+				continue
+			}
+			delete(q.byReceipt, r)
+			victims = append(victims, m)
+		}
+		if len(victims) == 0 {
+			return nil
+		}
+		if ds != nil {
+			rec := &durRecord{Op: opDelete, Q: q.name, IDs: make([]string, len(victims))}
+			for i, m := range victims {
+				rec.IDs[i] = m.id
+			}
+			if err := ds.append(rec); err != nil {
+				for _, m := range victims {
+					q.byReceipt[m.receipt] = m
+				}
+				return err
+			}
+		}
+		for _, m := range victims {
+			q.removeLocked(m)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	q.mu.Unlock()
 	return results, nil
 }
 
-// deleteLocked removes one live message by receipt. Caller holds q.mu.
-func (q *queueState) deleteLocked(receiptHandle string) error {
-	m, ok := q.byReceipt[receiptHandle]
-	if !ok {
-		return ErrInvalidReceipt
-	}
+// removeLocked removes a live message from every index, recycling its
+// body buffer when pooling is on. Caller holds q.mu.
+func (q *queueState) removeLocked(m *message) {
 	if m.elem != nil {
 		q.visible.Remove(m.elem)
 		m.elem = nil
 	} else if m.heapIdx >= 0 {
 		heap.Remove(&q.inflight, m.heapIdx)
 	}
-	delete(q.byReceipt, receiptHandle)
+	if m.receipt != "" {
+		delete(q.byReceipt, m.receipt)
+	}
+	delete(q.byID, m.id)
 	if q.poolBodies {
 		bodyPut(m.body)
 		m.body = nil
 	}
-	return nil
 }
 
 // ChangeVisibility extends or shrinks the invisibility of an in-flight
@@ -1035,20 +1322,40 @@ func (q *queueState) deleteLocked(receiptHandle string) error {
 // keep ownership of a task. O(log n) by receipt handle.
 func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Duration) error {
 	defer s.opDone("change_visibility", s.opStart())
+	if s.halted.Load() {
+		return ErrHalted
+	}
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
 		return err
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	m, ok := q.byReceipt[receiptHandle]
-	if !ok {
-		return ErrInvalidReceipt
-	}
-	now := s.cfg.Clock.Now()
+	return s.durAppend(func(ds *durableState) error {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		m, ok := q.byReceipt[receiptHandle]
+		if !ok {
+			return ErrStaleReceipt
+		}
+		now := s.cfg.Clock.Now()
+		visAt := now.Add(d)
+		if ds != nil {
+			rec := &durRecord{Op: opVisibility, Q: q.name, T: now, IDs: []string{m.id}, Vis: []time.Time{visAt}}
+			if err := ds.append(rec); err != nil {
+				return err
+			}
+		}
+		q.placeLocked(m, visAt, now)
+		return nil
+	})
+}
+
+// placeLocked moves a message to match a new visibleAt relative to now
+// — the ChangeVisibility placement rules, shared with the journal
+// fold. Caller holds q.mu.
+func (q *queueState) placeLocked(m *message, visibleAt, now time.Time) {
 	old := m.visibleAt
-	m.visibleAt = now.Add(d)
+	m.visibleAt = visibleAt
 	switch {
 	case m.visibleAt.After(now) && m.elem != nil:
 		// Re-hide a currently visible message (e.g. its lease expired but
@@ -1069,7 +1376,6 @@ func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Durat
 		// their expiry timers re-arm against the new, earlier deadline.
 		q.broadcastLocked()
 	}
-	return nil
 }
 
 // ApproximateCount reports visible and in-flight (invisible, undeleted)
@@ -1080,6 +1386,9 @@ func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Durat
 // the message history.
 func (s *Service) ApproximateCount(queueName string) (visible, inflight int, err error) {
 	defer s.opDone("count", s.opStart())
+	if s.halted.Load() {
+		return 0, 0, ErrHalted
+	}
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
@@ -1094,15 +1403,56 @@ func (s *Service) ApproximateCount(queueName string) (visible, inflight int, err
 // Purge removes every message from a queue.
 func (s *Service) Purge(queueName string) error {
 	defer s.opDone("purge", s.opStart())
+	if s.halted.Load() {
+		return ErrHalted
+	}
 	s.count(queueName)
 	q, err := s.getQueue(queueName)
 	if err != nil {
 		return err
 	}
-	q.mu.Lock()
+	return s.durAppend(func(ds *durableState) error {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if ds != nil {
+			if err := ds.append(&durRecord{Op: opPurge, Q: q.name}); err != nil {
+				return err
+			}
+		}
+		q.purgeLocked()
+		return nil
+	})
+}
+
+// purgeLocked drops every message and index. Caller holds q.mu. Body
+// buffers are left to the garbage collector — see bodyBuckets for why
+// a purge must not recycle buffers consumers may still read.
+func (q *queueState) purgeLocked() {
 	q.visible.Init()
 	q.inflight = nil
 	q.byReceipt = make(map[string]*message)
-	q.mu.Unlock()
+	q.byID = make(map[string]*message)
+}
+
+// Halt kills the service in place: every subsequent operation — and
+// every long poll already blocked — fails with ErrHalted, while
+// in-memory state stays exactly as it was, like a process that took
+// SIGKILL. Halt never touches the journal (that is the point: a
+// durable deployment recovers by folding the journal into a fresh
+// service, or by promoting a Follower — see shard failover).
+func (s *Service) Halt() {
+	if s.halted.Swap(true) {
+		return
+	}
+	close(s.haltCh)
+}
+
+// Ping reports liveness (Pinger): nil while the service accepts
+// traffic, ErrHalted after Halt. It is unbilled and lock-free — the
+// cheapest possible health probe.
+func (s *Service) Ping() error {
+	if s.halted.Load() {
+		return ErrHalted
+	}
 	return nil
 }

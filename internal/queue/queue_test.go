@@ -96,8 +96,8 @@ func TestVisibilityTimeoutReappearance(t *testing.T) {
 		t.Errorf("receives = %d, want 2", m2.Receives)
 	}
 	// The first receipt handle is now stale.
-	if err := s.DeleteMessage("q", m1.ReceiptHandle); err != ErrInvalidReceipt {
-		t.Errorf("stale receipt delete: %v, want ErrInvalidReceipt", err)
+	if err := s.DeleteMessage("q", m1.ReceiptHandle); err != ErrStaleReceipt {
+		t.Errorf("stale receipt delete: %v, want ErrStaleReceipt", err)
 	}
 	// The fresh handle works.
 	if err := s.DeleteMessage("q", m2.ReceiptHandle); err != nil {
@@ -122,7 +122,7 @@ func TestChangeVisibilityExtendsOwnership(t *testing.T) {
 	if _, ok, _ := s.ReceiveMessage("q", 0); !ok {
 		t.Error("message should reappear after extension expires")
 	}
-	if err := s.ChangeVisibility("q", "bogus", time.Minute); err != ErrInvalidReceipt {
+	if err := s.ChangeVisibility("q", "bogus", time.Minute); err != ErrStaleReceipt {
 		t.Errorf("bogus handle: %v", err)
 	}
 }
@@ -335,7 +335,7 @@ func TestDeleteMessageTwice(t *testing.T) {
 	if err := s.DeleteMessage("q", m.ReceiptHandle); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.DeleteMessage("q", m.ReceiptHandle); err != ErrInvalidReceipt {
+	if err := s.DeleteMessage("q", m.ReceiptHandle); err != ErrStaleReceipt {
 		t.Errorf("second delete: %v", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/queue"
@@ -168,11 +169,15 @@ type Router struct {
 	// the migrations they trigger.
 	topoMu sync.Mutex
 
-	// mu guards ring, shards, routes, splits, and pinned.
+	// mu guards ring, shards, routes, splits, pinned, and standbys.
 	mu     sync.RWMutex
 	ring   *ring
 	shards map[string]queue.API
 	routes map[string]*route
+	// standbys maps a shard id to its promotion thunk (see failover.go);
+	// failovers counts automatic promotions by the health loop.
+	standbys  map[string]func() (queue.API, error)
+	failovers atomic.Int64
 	// splits maps a placement group to its sub-arc count; absent (or 1)
 	// means unsplit. pinned groups opted out of splitting entirely
 	// (strict co-location).
