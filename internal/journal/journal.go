@@ -173,28 +173,43 @@ type View struct {
 
 // Load reads and parses the whole log. A log that does not exist
 // returns blob.ErrNoSuchKey (wrapped).
+//
+// The log and its epoch snapshot are two objects read with two GETs, so
+// a concurrent Snapshot can delete the snapshot Load's header points at
+// (dropStaleSnapshots) between them. That race is benign — the log now
+// carries a newer epoch — so a missing snapshot object triggers one
+// re-read of the log before it is reported as corruption.
 func (l Log) Load() (*View, error) {
+	v, retry, err := l.loadOnce()
+	if retry {
+		v, _, err = l.loadOnce()
+	}
+	return v, err
+}
+
+func (l Log) loadOnce() (v *View, retry bool, err error) {
 	data, err := l.Store.GetConsistent(l.Bucket, l.Key)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	v := &View{Size: int64(len(data))}
+	v = &View{Size: int64(len(data))}
 	rest := data
 	if seq, ok, err := parseHeader(data); err != nil {
-		return nil, fmt.Errorf("%w: %s/%s: %v", ErrCorrupt, l.Bucket, l.Key, err)
+		return nil, false, fmt.Errorf("%w: %s/%s: %v", ErrCorrupt, l.Bucket, l.Key, err)
 	} else if ok {
 		v.Seq = seq
 		v.Snapshot, err = l.Store.GetConsistent(l.Bucket, l.snapKey(seq))
 		if err != nil {
-			return nil, fmt.Errorf("%w: %s/%s: epoch %d snapshot: %v", ErrCorrupt, l.Bucket, l.Key, seq, err)
+			return nil, errors.Is(err, blob.ErrNoSuchKey),
+				fmt.Errorf("%w: %s/%s: epoch %d snapshot: %v", ErrCorrupt, l.Bucket, l.Key, seq, err)
 		}
 		rest = data[bytes.IndexByte(data, '\n')+1:]
 	}
 	v.Entries, err = SplitEntries(rest)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s/%s: %v", ErrCorrupt, l.Bucket, l.Key, err)
+		return nil, false, fmt.Errorf("%w: %s/%s: %v", ErrCorrupt, l.Bucket, l.Key, err)
 	}
-	return v, nil
+	return v, false, nil
 }
 
 // parseHeader decodes the epoch header when the data starts with one.

@@ -572,16 +572,7 @@ func (f *Follower) catchUpLocked() (int, error) {
 	if seq != f.seq || size < f.off {
 		// New snapshot epoch (or a rewritten log): rebuild wholesale.
 		// The primary's compaction cadence bounds this fold.
-		v, err := d.log.Load()
-		if err != nil {
-			return 0, err
-		}
-		if err := f.svc.installView(v); err != nil {
-			return 0, err
-		}
-		f.seq, f.off = v.Seq, v.Size
-		f.records = len(v.Entries)
-		return len(v.Entries), nil
+		return f.rebuildLocked()
 	}
 	if size == f.off {
 		return 0, nil
@@ -589,6 +580,19 @@ func (f *Follower) catchUpLocked() (int, error) {
 	tail, newSize, err := d.log.Tail(f.off)
 	if err != nil {
 		return 0, err
+	}
+	// The Head read above and the Tail range read are two requests, so a
+	// primary compaction can slip between them: the log is truncated to
+	// a new epoch, then appends regrow it past f.off — and the tail just
+	// read starts mid-record in the NEW epoch. Epoch seqs strictly
+	// increase, so re-reading the header detects it; rebuild instead of
+	// folding misaligned bytes.
+	seq2, _, err := d.log.Head()
+	if err != nil {
+		return 0, err
+	}
+	if seq2 != seq {
+		return f.rebuildLocked()
 	}
 	entries, err := journal.SplitEntries(tail)
 	if err != nil {
@@ -606,6 +610,21 @@ func (f *Follower) catchUpLocked() (int, error) {
 	f.off = newSize
 	f.records += len(entries)
 	return len(entries), nil
+}
+
+// rebuildLocked replaces the standby's state with a full load of the
+// journal's current view. Caller holds f.mu.
+func (f *Follower) rebuildLocked() (int, error) {
+	v, err := f.svc.dur.log.Load()
+	if err != nil {
+		return 0, err
+	}
+	if err := f.svc.installView(v); err != nil {
+		return 0, err
+	}
+	f.seq, f.off = v.Seq, v.Size
+	f.records = len(v.Entries)
+	return len(v.Entries), nil
 }
 
 // Start polls CatchUp every interval until Close or Promote. Errors are

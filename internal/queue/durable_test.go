@@ -262,6 +262,65 @@ func TestDurableEmptyReceiveNotJournaled(t *testing.T) {
 	}
 }
 
+// A mutation racing DeleteQueue must not journal after the delq
+// record: folding is strict, so a late opDelete/opVisibility/opPurge
+// against the deleted queue would poison the journal and fail every
+// later Recover (and follower fold). The race is simulated
+// deterministically: the queue state a concurrent caller resolved
+// before the delete is re-exposed after DeleteQueue completes, which
+// is indistinguishable, from the operation's point of view, from
+// having resolved it just before the delete landed.
+func TestDurableOpsRacingDeleteQueueDoNotPoisonJournal(t *testing.T) {
+	store := blob.NewStore(blob.Config{})
+	clk := NewFakeClock(time.Unix(1000, 0))
+	s := NewService(durConfig(store, clk, "shard-0"))
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SendMessage("q", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := s.ReceiveMessage("q", time.Minute)
+	if err != nil || !ok {
+		t.Fatalf("receive: %v ok=%v", err, ok)
+	}
+	q, err := s.getQueue("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.queues["q"] = q // the dead state a racing caller still holds
+	s.mu.Unlock()
+	if err := s.DeleteMessage("q", m.ReceiptHandle); !errors.Is(err, ErrNoSuchQueue) {
+		t.Errorf("delete racing queue deletion: %v, want ErrNoSuchQueue", err)
+	}
+	if _, err := s.DeleteMessageBatch("q", []string{m.ReceiptHandle}); !errors.Is(err, ErrNoSuchQueue) {
+		t.Errorf("batch delete racing queue deletion: %v, want ErrNoSuchQueue", err)
+	}
+	if err := s.ChangeVisibility("q", m.ReceiptHandle, time.Minute); !errors.Is(err, ErrNoSuchQueue) {
+		t.Errorf("visibility change racing queue deletion: %v, want ErrNoSuchQueue", err)
+	}
+	if err := s.Purge("q"); !errors.Is(err, ErrNoSuchQueue) {
+		t.Errorf("purge racing queue deletion: %v, want ErrNoSuchQueue", err)
+	}
+	s.mu.Lock()
+	delete(s.queues, "q")
+	s.mu.Unlock()
+	s.Halt()
+	// The proof: the journal still folds. A record journaled after the
+	// delq would fail Recover with "<op> on unknown queue" forever.
+	r := NewService(durConfig(store, clk, "shard-0"))
+	if err := r.Recover(); err != nil {
+		t.Fatalf("journal poisoned by mutation racing DeleteQueue: %v", err)
+	}
+}
+
 // Halt is SIGKILL: every operation fails with ErrHalted, including long
 // polls already blocked.
 func TestHaltFailsOperationsAndWakesPolls(t *testing.T) {

@@ -1224,6 +1224,11 @@ func (s *Service) DeleteMessage(queueName, receiptHandle string) error {
 	return s.durAppend(func(ds *durableState) error {
 		q.mu.Lock()
 		defer q.mu.Unlock()
+		if q.dead {
+			// Racing DeleteQueue: the delq record is already journaled, so
+			// appending an opDelete for this queue now would poison replay.
+			return ErrNoSuchQueue
+		}
 		m, ok := q.byReceipt[receiptHandle]
 		if !ok {
 			return ErrStaleReceipt
@@ -1259,6 +1264,9 @@ func (s *Service) DeleteMessageBatch(queueName string, receipts []string) ([]err
 	err = s.durAppend(func(ds *durableState) error {
 		q.mu.Lock()
 		defer q.mu.Unlock()
+		if q.dead {
+			return ErrNoSuchQueue
+		}
 		// Claim receipts as they validate so a receipt repeated within
 		// the batch fails its second entry, exactly like sequential
 		// deletes would.
@@ -1333,6 +1341,9 @@ func (s *Service) ChangeVisibility(queueName, receiptHandle string, d time.Durat
 	return s.durAppend(func(ds *durableState) error {
 		q.mu.Lock()
 		defer q.mu.Unlock()
+		if q.dead {
+			return ErrNoSuchQueue
+		}
 		m, ok := q.byReceipt[receiptHandle]
 		if !ok {
 			return ErrStaleReceipt
@@ -1414,6 +1425,9 @@ func (s *Service) Purge(queueName string) error {
 	return s.durAppend(func(ds *durableState) error {
 		q.mu.Lock()
 		defer q.mu.Unlock()
+		if q.dead {
+			return ErrNoSuchQueue
+		}
 		if ds != nil {
 			if err := ds.append(&durRecord{Op: opPurge, Q: q.name}); err != nil {
 				return err

@@ -32,12 +32,24 @@ import (
 // standby.
 var ErrNoStandby = errors.New("shard: no standby registered for shard")
 
+// standby is one registered promotion thunk plus its in-flight flag:
+// set while a Failover is running the thunk, so the registration is
+// only consumed on success and a failed promotion stays retryable.
+type standby struct {
+	promote  func() (queue.API, error)
+	inflight bool
+}
+
 // SetStandby registers a promotion thunk for a shard: Failover(id)
-// calls it once and installs whatever backend it returns under the
-// same shard id. Registering again replaces the previous standby (the
-// old one is NOT promoted or closed — the caller owns its lifecycle).
-// The thunk must only be safe to call when the current backend is
-// confirmed dead; the router guarantees it is invoked at most once.
+// calls it and installs whatever backend it returns under the same
+// shard id. Registering again replaces the previous standby (the old
+// one is NOT promoted or closed — the caller owns its lifecycle). The
+// thunk must only be safe to call when the current backend is
+// confirmed dead; the router never runs it twice concurrently, and a
+// promotion that succeeds consumes the registration. A promotion that
+// FAILS leaves the registration armed, so a retried Failover can run
+// the thunk again — thunks must tolerate that (queue.Follower.Promote
+// does: a failed final fold leaves the follower unpromoted).
 func (r *Router) SetStandby(id string, promote func() (queue.API, error)) error {
 	if promote == nil {
 		return errors.New("shard: nil standby promotion")
@@ -48,43 +60,57 @@ func (r *Router) SetStandby(id string, promote func() (queue.API, error)) error 
 		return ErrNoSuchShard
 	}
 	if r.standbys == nil {
-		r.standbys = make(map[string]func() (queue.API, error))
+		r.standbys = make(map[string]*standby)
 	}
-	r.standbys[id] = promote
+	r.standbys[id] = &standby{promote: promote}
 	return nil
 }
 
 // Failover promotes the shard's registered standby and swaps it in
-// under the same id, consuming the registration. Routing state — the
-// ring, routes, placement groups — is untouched: the id still owns
-// exactly the queues it owned, and receipts issued by the dead
-// backend route to the promoted one (which replayed the journal that
-// makes them live). Concurrent data-plane calls see either the old
-// backend (failing with whatever the dead shard returns, e.g.
-// queue.ErrHalted) or the promoted one; callers that retry converge.
+// under the same id, consuming the registration only once promotion
+// succeeds — a transient promotion failure (e.g. a blob error during
+// the final fold) leaves the standby registered so the failover can be
+// retried. Routing state — the ring, routes, placement groups — is
+// untouched: the id still owns exactly the queues it owned, and
+// receipts issued by the dead backend route to the promoted one (which
+// replayed the journal that makes them live). Concurrent data-plane
+// calls see either the old backend (failing with whatever the dead
+// shard returns, e.g. queue.ErrHalted) or the promoted one; callers
+// that retry converge.
 func (r *Router) Failover(id string) error {
 	// Serialize with topology changes: a migration streaming messages
 	// off this shard must not race the backend swap.
 	r.topoMu.Lock()
 	defer r.topoMu.Unlock()
 	r.mu.Lock()
-	promote := r.standbys[id]
-	if promote == nil {
+	sb := r.standbys[id]
+	if sb == nil {
 		r.mu.Unlock()
 		if _, ok := r.shards[id]; !ok {
 			return ErrNoSuchShard
 		}
 		return fmt.Errorf("%w: %s", ErrNoStandby, id)
 	}
-	delete(r.standbys, id)
+	if sb.inflight {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: failover already in flight for %s", id)
+	}
+	sb.inflight = true
 	r.mu.Unlock()
 	// Promotion folds the journal tail — blob I/O, done outside r.mu so
 	// the data plane keeps routing while the standby catches up.
-	b, err := promote()
+	b, err := sb.promote()
+	r.mu.Lock()
+	sb.inflight = false
 	if err != nil {
+		r.mu.Unlock()
 		return fmt.Errorf("shard: promoting standby for %s: %w", id, err)
 	}
-	r.mu.Lock()
+	// Consume the registration — unless SetStandby replaced it while
+	// the promotion ran, in which case the newer standby stays armed.
+	if r.standbys[id] == sb {
+		delete(r.standbys, id)
+	}
 	r.shards[id] = b
 	r.mu.Unlock()
 	return nil

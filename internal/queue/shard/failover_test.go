@@ -121,6 +121,45 @@ func TestFailoverRequiresStandby(t *testing.T) {
 	}
 }
 
+// A promotion failure must not consume the standby registration: a
+// transient blob error during the final fold leaves the follower
+// alive, so a retried Failover promotes it instead of reporting
+// ErrNoStandby and stranding the shard.
+func TestFailoverRetryableAfterPromotionFailure(t *testing.T) {
+	r := NewRouter(Config{})
+	defer r.Close()
+	if err := r.AddShard("s0", queue.NewService(queue.Config{})); err != nil {
+		t.Fatal(err)
+	}
+	replacement := queue.NewService(queue.Config{})
+	calls := 0
+	err := r.SetStandby("s0", func() (queue.API, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient blob error")
+		}
+		return replacement, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Failover("s0"); err == nil {
+		t.Fatal("failover with failing promotion reported success")
+	}
+	if !r.HasStandby("s0") {
+		t.Fatal("failed promotion consumed the standby registration")
+	}
+	if err := r.Failover("s0"); err != nil {
+		t.Fatalf("retry after transient promotion failure: %v", err)
+	}
+	if r.HasStandby("s0") {
+		t.Error("successful promotion left the registration armed")
+	}
+	if calls != 2 {
+		t.Errorf("promotion thunk ran %d times, want 2", calls)
+	}
+}
+
 // The health loop notices a halted shard and promotes its standby
 // without operator involvement.
 func TestHealthCheckAutoFailover(t *testing.T) {

@@ -174,9 +174,10 @@ type Router struct {
 	ring   *ring
 	shards map[string]queue.API
 	routes map[string]*route
-	// standbys maps a shard id to its promotion thunk (see failover.go);
-	// failovers counts automatic promotions by the health loop.
-	standbys  map[string]func() (queue.API, error)
+	// standbys maps a shard id to its registered standby (see
+	// failover.go); failovers counts automatic promotions by the health
+	// loop.
+	standbys  map[string]*standby
 	failovers atomic.Int64
 	// splits maps a placement group to its sub-arc count; absent (or 1)
 	// means unsplit. pinned groups opted out of splitting entirely
