@@ -21,8 +21,18 @@
 //
 //	GET /metrics    whole-stack telemetry — queue op latency histograms,
 //	                blob op histograms and byte gauges, per-task service
-//	                time percentiles, autoscale decision counters, fleet
-//	                and backlog gauges (Prometheus text; ?format=json)
+//	                time percentiles (overall and per instance type),
+//	                autoscale decision counters, fleet and backlog gauges
+//	                (Prometheus text; ?format=json)
+//
+// The calibration catalog — observed per-task service times keyed by
+// (app, instance type), with side-by-side price-performance — is served
+// from its own listener (-catalog): GET /catalog and /catalog/{app}.
+// Settled tasks feed it continuously, and with -replan the broker
+// re-runs instance selection against the observed curves mid-job,
+// switching a mispredicted job's fleet to the type that is actually
+// cheapest under the hysteresis guards (-replan-min-samples,
+// -replan-error, -replan-cooldown).
 //
 // Each job is assigned a trace ID at submission (reported in its
 // status); every queue request its control loop and workers make carries
@@ -41,7 +51,9 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/broker"
+	"repro/internal/catalog"
 	"repro/internal/classiccloud"
+	"repro/internal/cloud"
 	"repro/internal/queue"
 	"repro/internal/telemetry"
 )
@@ -74,6 +86,15 @@ func main() {
 	visibility := flag.Duration("visibility", time.Minute, "task lease length")
 	maxReceives := flag.Int("max-receives", 4, "per-task retry cap before dead-lettering")
 	tick := flag.Duration("tick", 200*time.Millisecond, "autoscaler cadence")
+	targetDrain := flag.Duration("target-drain", 30*time.Second,
+		"size fleets to drain the backlog within this window once throughput is observed (0 = backlog heuristic only)")
+	catalogAddr := flag.String("catalog", ":8090",
+		"calibration-catalog listen address (\"\" disables the listener; ingestion still runs)")
+	replanOn := flag.Bool("replan", true, "re-plan jobs mid-run against observed service times")
+	replanMinSamples := flag.Int("replan-min-samples", 16, "observations required before re-planning")
+	replanError := flag.Float64("replan-error", 0.5,
+		"relative error vs the plan that triggers a re-plan (0.5 = observed 1.5x plan)")
+	replanCooldown := flag.Duration("replan-cooldown", 2*time.Second, "minimum spacing between re-plans")
 	journalBucket := flag.String("journal-bucket", "broker-journal",
 		"blob bucket for per-job event journals (\"-\" disables journaling)")
 	doRecover := flag.Bool("recover", false,
@@ -95,12 +116,23 @@ func main() {
 		Blob:  blob.NewStore(blob.Config{Metrics: reg}),
 		Queue: queue.NewService(queue.Config{Metrics: reg}),
 	}
+	cal, err := catalog.Open(catalog.Config{
+		Store:  env.Blob,
+		Prices: append(cloud.EC2Catalog(), cloud.AzureCatalog()...),
+	})
+	if err != nil {
+		log.Fatalf("brokerd: opening calibration catalog: %v", err)
+	}
 	b := broker.New(broker.Config{
 		Env:     env,
 		Metrics: reg,
 		Autoscale: broker.AutoscalePolicy{
 			MinInstances: *minFleet,
 			MaxInstances: *maxFleet,
+			// The observed-throughput sizing basis only engages when a
+			// drain target exists; without this default every fleet is
+			// sized by the backlog heuristic forever.
+			TargetDrain: *targetDrain,
 		},
 		WorkersPerInstance: *workers,
 		VisibilityTimeout:  *visibility,
@@ -109,8 +141,24 @@ func main() {
 		JournalBucket:      *journalBucket,
 		TenantQuotas:       quotas,
 		FleetBudget:        *fleetBudget,
+		Calibration:        cal,
+		Replan: broker.ReplanPolicy{
+			Enabled:     *replanOn,
+			MinSamples:  *replanMinSamples,
+			MinRelError: *replanError,
+			Cooldown:    *replanCooldown,
+		},
 	})
 	defer b.Close()
+
+	if *catalogAddr != "" {
+		go func() {
+			log.Printf("brokerd: calibration catalog on %s (GET /catalog, /catalog/{app})", *catalogAddr)
+			if err := http.ListenAndServe(*catalogAddr, &catalog.Handler{Service: cal}); err != nil {
+				log.Printf("brokerd: catalog listener: %v", err)
+			}
+		}()
+	}
 
 	if *doRecover {
 		// brokerd's env is process-local, so a fresh daemon finds an

@@ -133,7 +133,7 @@ func (p AutoscalePolicy) Decide(o Observation) Decision {
 // ScalingEvent records one fleet change for the job's event log.
 type ScalingEvent struct {
 	Time   time.Time `json:"time"`
-	Action string    `json:"action"` // "launch", "stop", "preempt"
+	Action string    `json:"action"` // "launch", "stop", "preempt", "orphan", "replan"
 	Delta  int       `json:"delta"`
 	Fleet  int       `json:"fleet"` // fleet size after the action
 	Reason string    `json:"reason"`

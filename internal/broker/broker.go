@@ -41,9 +41,11 @@ import (
 	"time"
 
 	"repro/internal/blob"
+	"repro/internal/catalog"
 	"repro/internal/classiccloud"
 	"repro/internal/cloud"
 	"repro/internal/journal"
+	"repro/internal/perfmodel"
 	"repro/internal/queue"
 	"repro/internal/telemetry"
 )
@@ -101,10 +103,25 @@ type Config struct {
 	// TenantQuotas when quotas are configured, else unlimited.
 	FleetBudget int
 	// Metrics, when set, receives the broker's instruments: the per-task
-	// service-time histogram (broker_task_service_ns, worker-measured),
-	// task settlement and scaling counters, autoscale decision counters,
-	// and fleet/job gauges. Nil leaves the broker uninstrumented.
+	// service-time histogram (broker_task_service_ns, worker-measured,
+	// plus an instance_type-labeled variant per reporting type), task
+	// settlement and scaling counters, autoscale decision counters, and
+	// fleet/job gauges. Nil leaves the broker uninstrumented.
 	Metrics *telemetry.Registry
+	// Calibration, when set, receives every settled task's
+	// worker-measured service time from the settlement path, labeled
+	// with the reporting instance's type — the live feed behind the
+	// calibration catalog — and is the observation source the re-planner
+	// (Replan) reads back.
+	Calibration *catalog.Service
+	// Replan tunes mid-job re-planning against the calibration catalog.
+	// Re-planning runs only when both Calibration is set and
+	// Replan.Enabled is true.
+	Replan ReplanPolicy
+	// PlanningModels overrides the built-in per-app planning models
+	// (planningModel) for cost-aware selection and re-planning — the
+	// hook bench and regression scenarios use to plan synthetic apps.
+	PlanningModels map[string]perfmodel.AppModel
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +155,7 @@ func (c Config) withDefaults() Config {
 	if c.JournalSnapshotEvery == 0 {
 		c.JournalSnapshotEvery = 64
 	}
+	c.Replan = c.Replan.withDefaults()
 	return c
 }
 
@@ -308,13 +326,18 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 	// Cost-aware instance selection against the calibrated model.
 	var planned *perfSelection
 	if req.TargetMakespan > 0 {
-		if model, ok := planningModel(req.App); ok {
+		if model, ok := b.planningModelFor(req.App); ok {
+			planCap := policy.MaxInstances
 			sel, ok := PlanFleet(model, len(req.Files), req.TargetMakespan,
 				b.cfg.Catalog, policy.MaxInstances)
 			if ok {
 				j.plan = &sel
 				j.itype = sel.InstanceType()
-				planned = &perfSelection{instances: sel.Instances(), meets: sel.MeetsTarget}
+				planned = &perfSelection{
+					instances: sel.Instances(), meets: sel.MeetsTarget,
+					cap:       planCap,
+					serviceNS: modeledServiceNS(model, j.itype, b.cfg.WorkersPerInstance),
+				}
 				if n := sel.Instances(); n < j.policy.MaxInstances {
 					// The plan already meets the deadline with n
 					// instances; cap the fleet there and let observed
@@ -329,6 +352,7 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 	}
 
 	j.ccCfg = b.ccConfigFor(id)
+	j.ccCfg.InstanceType = j.itype.Key()
 	if req.InjectCrashes > 0 {
 		j.ccCfg.CrashBeforeDelete = func(int, classiccloud.Task) bool {
 			return j.crashBudget.Add(-1) >= 0
@@ -374,13 +398,15 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 		Type: EvSubmitted, Time: time.Now(),
 		App: req.App, Tenant: tenant, TaskIDs: taskIDs,
 		Provider: string(j.itype.Provider), Instance: j.itype.Name,
-		Policy: &j.policy,
+		Policy:   &j.policy,
+		TargetNS: int64(req.TargetMakespan),
 	})
 	if err == nil && planned != nil {
 		err = j.recordLocked(Event{
 			Type: EvPlanned, Time: time.Now(),
 			PlannedInstances: planned.instances, PlanMeetsTarget: planned.meets,
 			Provider: string(j.itype.Provider), Instance: j.itype.Name,
+			PlanServiceNS: planned.serviceNS, PlanCap: planned.cap,
 		})
 	}
 	j.mu.Unlock()
@@ -429,10 +455,15 @@ func (b *Broker) Submit(req JobRequest) (*Job, error) {
 	return j, nil
 }
 
-// perfSelection carries the planned fleet into the journal.
+// perfSelection carries the planned fleet into the journal: the fleet
+// size and target verdict, the pre-clamp instance cap (the re-planner's
+// search space), and the modeled per-task service time on the chosen
+// type (the re-planner's hysteresis baseline).
 type perfSelection struct {
 	instances int
 	meets     bool
+	cap       int
+	serviceNS int64
 }
 
 // Recover replays every journal in the journal bucket and re-adopts the
@@ -497,6 +528,7 @@ func (b *Broker) adoptJob(id string) (bool, error) {
 	}
 	j.env = b.traceEnv(j.trace)
 	j.ccCfg = b.ccConfigFor(id)
+	j.ccCfg.InstanceType = j.itype.Key()
 	j.cc = classiccloud.NewClient(j.env, j.ccCfg)
 
 	if rec.State != StateRunning {

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -129,6 +130,36 @@ func TestPolicySizesFromObservedThroughput(t *testing.T) {
 	})
 	if got := 1 + d.Delta; got != 5 {
 		t.Errorf("fleet after decision = %d (%s), want 5", got, d.Reason)
+	}
+}
+
+// The sizing basis must flip from the backlog heuristic to observed
+// throughput as soon as completions are observed — but only when the
+// policy has a drain target, which is why brokerd now defaults
+// -target-drain on instead of leaving TargetDrain zero (where observed
+// throughput was silently ignored forever).
+func TestPolicyBasisSwitchesWithObservedThroughput(t *testing.T) {
+	clk := queue.NewFakeClock(time.Unix(1000, 0))
+	p := testPolicy()
+	p.TargetDrain = 10 * time.Second
+	cold := p.Decide(Observation{Now: clk.Now(), Visible: 100, Fleet: 1})
+	if !strings.HasPrefix(cold.Reason, "backlog") {
+		t.Errorf("no throughput yet: basis = %q, want backlog", cold.Reason)
+	}
+	warm := p.Decide(Observation{
+		Now: clk.Now(), Visible: 100, Fleet: 1, ThroughputPerInstance: 2,
+	})
+	if !strings.HasPrefix(warm.Reason, "throughput") {
+		t.Errorf("throughput observed: basis = %q, want throughput", warm.Reason)
+	}
+	// Without a drain target the throughput signal is ignored — the
+	// trap the brokerd default closes.
+	p.TargetDrain = 0
+	ignored := p.Decide(Observation{
+		Now: clk.Now(), Visible: 100, Fleet: 1, ThroughputPerInstance: 2,
+	})
+	if !strings.HasPrefix(ignored.Reason, "backlog") {
+		t.Errorf("TargetDrain=0: basis = %q, want backlog", ignored.Reason)
 	}
 }
 

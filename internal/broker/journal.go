@@ -46,6 +46,12 @@ const (
 	// exists for journals written by future executors that dead-letter
 	// outside the monitor path).
 	EvDeadLettered EventType = "dead_lettered"
+	// EvReplanned records a mid-job re-plan: the broker compared the
+	// calibration catalog's observed service times against the plan's
+	// modeled baseline, found a sustained shortfall, and re-ran
+	// selection against the observed curves. The event carries the new
+	// instance type and fleet shape, so recovery replays the switch.
+	EvReplanned EventType = "replanned"
 	// EvCompleted and EvAborted are terminal.
 	EvCompleted EventType = "completed"
 	EvAborted   EventType = "aborted"
@@ -68,10 +74,27 @@ type Event struct {
 	Provider string           `json:"provider,omitempty"`
 	Instance string           `json:"instance,omitempty"`
 	Policy   *AutoscalePolicy `json:"policy,omitempty"`
+	// TargetNS is the requested target makespan (EvSubmitted; zero when
+	// the submission had none). Journaled so a recovered job can keep
+	// re-planning against the original deadline.
+	TargetNS int64 `json:"target_ns,omitempty"`
 
-	// EvPlanned.
+	// EvPlanned / EvReplanned.
 	PlannedInstances int  `json:"planned_instances,omitempty"`
 	PlanMeetsTarget  bool `json:"plan_meets_target,omitempty"`
+	// PlanServiceNS is the planning model's expected per-task service
+	// time on the planned type — the baseline the re-planner's
+	// hysteresis guard compares observations against. A re-plan resets
+	// it to the calibrated expectation on the new type, which is the
+	// anti-flap: post-switch observations match the new baseline.
+	PlanServiceNS int64 `json:"plan_service_ns,omitempty"`
+	// PlanCap is the fleet cap the plan was searched under (the policy's
+	// MaxInstances before the plan clamped it); re-planning searches the
+	// same headroom instead of the clamped cap.
+	PlanCap int `json:"plan_cap,omitempty"`
+	// ObservedNS is the observed mean service time that triggered a
+	// re-plan (EvReplanned only).
+	ObservedNS int64 `json:"observed_ns,omitempty"`
 
 	// EvScaledUp / EvScaledDown.
 	InstanceID int  `json:"instance_id,omitempty"`
@@ -302,6 +325,12 @@ type ledgerEntry struct {
 	Launched  time.Time
 	Stopped   time.Time // zero while running
 	Preempted bool
+	// Provider and Instance record the type this instance launched as;
+	// a mid-job re-plan leaves earlier entries on the old type, so the
+	// ledger bills a mixed fleet exactly. Empty on entries journaled
+	// before the fields existed — those bill at the job's current type.
+	Provider string `json:",omitempty"`
+	Instance string `json:",omitempty"`
 	// Orphaned marks an instance that was still running when its broker
 	// process died; it is billed to the adoption time.
 	Orphaned bool
@@ -326,6 +355,15 @@ type jobRecord struct {
 
 	PlannedInstances int
 	PlanMeetsTarget  bool
+	// TargetNS, PlanServiceNS, and PlanCap carry the re-planner's
+	// durable inputs: the original deadline, the current expected
+	// per-task service time, and the fleet headroom plans are searched
+	// under. Replans counts re-plans; LastReplan starts the cooldown.
+	TargetNS      int64
+	PlanServiceNS int64
+	PlanCap       int
+	Replans       int
+	LastReplan    time.Time
 
 	State      JobState
 	Started    time.Time
@@ -355,6 +393,7 @@ func (rec *jobRecord) apply(ev Event) error {
 			rec.Policy = *ev.Policy
 		}
 		rec.Provider, rec.Instance = ev.Provider, ev.Instance
+		rec.TargetNS = ev.TargetNS
 		rec.State = StateRunning
 		rec.Started = ev.Time
 		if rec.Done == nil {
@@ -366,11 +405,32 @@ func (rec *jobRecord) apply(ev Event) error {
 	case EvPlanned:
 		rec.PlannedInstances = ev.PlannedInstances
 		rec.PlanMeetsTarget = ev.PlanMeetsTarget
+		if ev.PlanServiceNS > 0 {
+			rec.PlanServiceNS = ev.PlanServiceNS
+		}
+		if ev.PlanCap > 0 {
+			rec.PlanCap = ev.PlanCap
+		}
 		if ev.Provider != "" {
 			rec.Provider, rec.Instance = ev.Provider, ev.Instance
 		}
+	case EvReplanned:
+		rec.Provider, rec.Instance = ev.Provider, ev.Instance
+		rec.PlannedInstances = ev.PlannedInstances
+		rec.PlanMeetsTarget = ev.PlanMeetsTarget
+		if ev.PlanServiceNS > 0 {
+			rec.PlanServiceNS = ev.PlanServiceNS
+		}
+		rec.Replans++
+		rec.LastReplan = ev.Time
+		rec.Events = append(rec.Events, ScalingEvent{
+			Time: ev.Time, Action: "replan", Fleet: rec.fleetSize(), Reason: ev.Reason,
+		})
 	case EvScaledUp:
-		rec.Ledger = append(rec.Ledger, &ledgerEntry{ID: ev.InstanceID, Launched: ev.Time})
+		rec.Ledger = append(rec.Ledger, &ledgerEntry{
+			ID: ev.InstanceID, Launched: ev.Time,
+			Provider: ev.Provider, Instance: ev.Instance,
+		})
 		rec.LastUp = ev.Time
 		rec.Events = append(rec.Events, ScalingEvent{
 			Time: ev.Time, Action: "launch", Delta: +1, Fleet: ev.Fleet, Reason: ev.Reason,

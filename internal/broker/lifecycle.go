@@ -116,6 +116,7 @@ func (j *Job) run() {
 			return
 		}
 		j.autoscaleTick()
+		j.replanTick()
 	}
 }
 
@@ -141,7 +142,7 @@ func (j *Job) drainMonitor() {
 		// double-report and still counts.
 		seen := make(map[string]bool, len(msgs))
 		var done, dead []string
-		var svcTimes []time.Duration
+		var samples []serviceSample
 		for _, m := range msgs {
 			rep, perr := classiccloud.ParseMonitorReport(m.Body)
 			if perr != nil || rep.TaskID == "" {
@@ -154,7 +155,7 @@ func (j *Job) drainMonitor() {
 			} else if !j.core.Done[rep.TaskID] || seen[rep.TaskID] {
 				done = append(done, rep.TaskID)
 				if rep.ServiceTime > 0 {
-					svcTimes = append(svcTimes, rep.ServiceTime)
+					samples = append(samples, serviceSample{d: rep.ServiceTime, itype: rep.InstanceType})
 				}
 			}
 			seen[rep.TaskID] = true
@@ -169,12 +170,32 @@ func (j *Job) drainMonitor() {
 				j.mu.Unlock()
 				return
 			}
-			// Observed only after the checkpoint is durable: reports
-			// from a failed checkpoint redeliver and must not be
-			// histogrammed twice.
-			j.broker.met.settled(len(done), len(dead), svcTimes)
 		}
 		j.mu.Unlock()
+		// Observed only after the checkpoint is durable (reports from a
+		// failed checkpoint redeliver and must not be histogrammed twice)
+		// and outside the job lock: the labeled per-type histogram lookup
+		// takes the registry mutex, which a concurrent render holds while
+		// its gauge funcs take job locks.
+		if len(done) > 0 || len(dead) > 0 {
+			j.broker.met.settled(len(done), len(dead), samples)
+		}
+		// Feed the calibration catalog the same post-checkpoint samples,
+		// grouped by reporting instance type (reports predating the label
+		// carry none and are skipped). Best-effort and outside the job
+		// lock: the catalog journals to the blob store under its own
+		// lock, and losing a batch only delays calibration.
+		if cal := j.broker.cfg.Calibration; cal != nil && len(samples) > 0 {
+			byType := make(map[string][]time.Duration)
+			for _, s := range samples {
+				if s.itype != "" {
+					byType[s.itype] = append(byType[s.itype], s.d)
+				}
+			}
+			for it, ds := range byType {
+				_ = cal.Record(j.App, it, ds)
+			}
+		}
 		receipts := make([]string, len(msgs))
 		for i, m := range msgs {
 			receipts[i] = m.ReceiptHandle
@@ -283,6 +304,7 @@ func (j *Job) scaleUpLocked(delta int, reason string) {
 		id := len(j.core.Ledger)
 		if err := j.recordLocked(Event{
 			Type: EvScaledUp, Time: now, InstanceID: id,
+			Provider: string(j.itype.Provider), Instance: j.itype.Name,
 			Fleet: j.core.fleetSize() + 1, Reason: reason,
 		}); err != nil {
 			j.broker.sched.release(j.Tenant, granted-i)
@@ -515,6 +537,9 @@ type Status struct {
 	// selection when a target makespan was requested.
 	PlannedInstances int  `json:"planned_instances,omitempty"`
 	PlanMeetsTarget  bool `json:"plan_meets_target,omitempty"`
+	// Replans counts mid-job re-plans; InstanceType above reflects the
+	// latest one.
+	Replans int `json:"replans,omitempty"`
 }
 
 // Status snapshots the job.
@@ -530,7 +555,7 @@ func (j *Job) Status() Status {
 		App:              j.App,
 		Tenant:           j.Tenant,
 		State:            j.core.State,
-		InstanceType:     fmt.Sprintf("%s/%s", j.itype.Provider, j.itype.Name),
+		InstanceType:     j.itype.Key(),
 		Total:            len(j.tasks),
 		Done:             len(j.core.Done),
 		Dead:             j.core.deadOnly(),
@@ -541,6 +566,7 @@ func (j *Job) Status() Status {
 		Trace:            j.trace,
 		PlannedInstances: j.core.PlannedInstances,
 		PlanMeetsTarget:  j.core.PlanMeetsTarget,
+		Replans:          j.core.Replans,
 	}
 }
 
@@ -599,8 +625,11 @@ type CostReport struct {
 }
 
 // CostReport computes the job's bill so far (final once completed). The
-// ledger — launch and stop times per instance — is journaled state, so
-// billing continues correctly across a broker restart; busy time is only
+// ledger — launch and stop times plus the launched type per instance —
+// is journaled state, so billing continues correctly across a broker
+// restart, and a re-planned job bills each instance at the rate of the
+// type it actually ran as (entries journaled before launches were
+// type-stamped bill at the job's current type). Busy time is only
 // known for instances this process launched (orphaned instances count
 // their allocated time but report no busy time, which understates
 // utilization after a crash — stated, not hidden).
@@ -612,7 +641,7 @@ func (j *Job) CostReport() CostReport {
 	if end.IsZero() {
 		end = now
 	}
-	var hourUnits, amortized float64
+	var hourUnits, amortized, computeCost float64
 	var busy, allocated time.Duration
 	launches, preempts, orphans := 0, 0, 0
 	for _, le := range j.core.Ledger {
@@ -627,9 +656,11 @@ func (j *Job) CostReport() CostReport {
 			stop = now
 		}
 		life := stop.Sub(le.Launched)
-		bill := cloud.ComputeBill(j.itype, 1, life)
+		it := resolveInstanceType(le.Provider, le.Instance, j.broker.cfg.Catalog, j.itype)
+		bill := cloud.ComputeBill(it, 1, life)
 		hourUnits += bill.HourUnits
 		amortized += bill.Amortized
+		computeCost += bill.ComputeCost
 		if inst := j.insts[le.ID]; inst != nil {
 			busy += time.Duration(inst.Stats().BusyNanos.Load())
 		}
@@ -653,10 +684,9 @@ func (j *Job) CostReport() CostReport {
 	if j.itype.Provider == cloud.Azure {
 		rates = cloud.AzureRates
 	}
-	computeCost := hourUnits * j.itype.CostPerHour
 	queueCost := rates.ServiceCost(int(queueReq), 0, 0, 0)
 	return CostReport{
-		InstanceType:     fmt.Sprintf("%s/%s", j.itype.Provider, j.itype.Name),
+		InstanceType:     j.itype.Key(),
 		Launches:         launches,
 		Preemptions:      preempts,
 		Orphaned:         orphans,

@@ -1,10 +1,19 @@
 package broker
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
 )
+
+// serviceSample is one worker-measured task service time tagged with
+// the reporting instance's type key (empty for reports predating the
+// instance_type label).
+type serviceSample struct {
+	d     time.Duration
+	itype string
+}
 
 // brokerMetrics holds the broker's instruments. All methods are safe on
 // a nil receiver, so an uninstrumented broker (Config.Metrics == nil)
@@ -21,6 +30,12 @@ type brokerMetrics struct {
 	scaleDowns  *telemetry.Counter
 	preempts    *telemetry.Counter
 	decisions   map[string]*telemetry.Counter // autoscale verdicts: up, down, hold
+
+	reg *telemetry.Registry
+	mu  sync.Mutex
+	// byType caches the instance_type-labeled variants of taskService,
+	// one per reporting type seen.
+	byType map[string]*telemetry.Histogram
 }
 
 // newBrokerMetrics registers the broker's instruments on reg, including
@@ -38,6 +53,8 @@ func newBrokerMetrics(b *Broker, reg *telemetry.Registry) *brokerMetrics {
 		scaleDowns:  reg.Counter("broker_scale_downs"),
 		preempts:    reg.Counter("broker_preemptions"),
 		decisions:   make(map[string]*telemetry.Counter, 3),
+		reg:         reg,
+		byType:      make(map[string]*telemetry.Histogram),
 	}
 	for _, verdict := range []string{"up", "down", "hold"} {
 		m.decisions[verdict] = reg.Counter(telemetry.Label("broker_autoscale_decisions", "verdict", verdict))
@@ -48,18 +65,36 @@ func newBrokerMetrics(b *Broker, reg *telemetry.Registry) *brokerMetrics {
 }
 
 // settled records one checkpointed settlement batch: done/dead counts
-// plus the worker-reported service times of the newly done tasks. Called
-// only after the checkpoint is journaled, so a failed checkpoint (whose
-// reports redeliver) is never double-observed.
-func (m *brokerMetrics) settled(done, dead int, serviceTimes []time.Duration) {
+// plus the worker-reported service times of the newly done tasks, each
+// observed into the unlabeled histogram and (when the report carried a
+// type) its instance_type-labeled variant. Called only after the
+// checkpoint is journaled, so a failed checkpoint (whose reports
+// redeliver) is never double-observed.
+func (m *brokerMetrics) settled(done, dead int, samples []serviceSample) {
 	if m == nil {
 		return
 	}
 	m.tasksDone.Add(int64(done))
 	m.tasksDead.Add(int64(dead))
-	for _, d := range serviceTimes {
-		m.taskService.Observe(d)
+	for _, s := range samples {
+		m.taskService.Observe(s.d)
+		if s.itype != "" {
+			m.serviceHist(s.itype).Observe(s.d)
+		}
 	}
+}
+
+// serviceHist returns (caching it) the labeled per-type service-time
+// histogram for one instance type key.
+func (m *brokerMetrics) serviceHist(itype string) *telemetry.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.byType[itype]
+	if h == nil {
+		h = m.reg.Histogram(telemetry.Label("broker_task_service_ns", "instance_type", itype))
+		m.byType[itype] = h
+	}
+	return h
 }
 
 // decision counts one autoscale policy verdict.

@@ -104,6 +104,15 @@ func planningModel(app string) (perfmodel.AppModel, bool) {
 	return perfmodel.AppModel{}, false
 }
 
+// planningModelFor resolves an app's planning model, preferring a
+// Config.PlanningModels override over the built-in paper calibrations.
+func (b *Broker) planningModelFor(app string) (perfmodel.AppModel, bool) {
+	if m, ok := b.cfg.PlanningModels[app]; ok {
+		return m, true
+	}
+	return planningModel(app)
+}
+
 // PlanFleet picks the cheapest (instance type, fleet size) meeting the
 // target makespan across the catalog, simulating Azure types under the
 // Azure Classic Cloud framework and everything else under EC2's
@@ -112,6 +121,28 @@ func planningModel(app string) (perfmodel.AppModel, bool) {
 // found with MeetsTarget=false; ok is false only for an empty catalog.
 func PlanFleet(app perfmodel.AppModel, nFiles int, target time.Duration,
 	catalog []cloud.InstanceType, maxInstances int) (perfmodel.Selection, bool) {
+	return planFleet(func(f perfmodel.Framework, types []cloud.InstanceType) perfmodel.Selection {
+		return perfmodel.PickCheapest(app, f, nFiles, target, types, maxInstances)
+	}, catalog)
+}
+
+// PlanFleetCalibrated is PlanFleet against a calibration overlay: the
+// same provider-grouped sweep, with every candidate simulated under its
+// observation-corrected curves. It is the selection the broker's
+// mid-job re-planner runs once the calibration catalog has enough
+// samples to distrust the static model.
+func PlanFleetCalibrated(cal perfmodel.CalibratedModel, nFiles int, target time.Duration,
+	catalog []cloud.InstanceType, maxInstances int) (perfmodel.Selection, bool) {
+	return planFleet(func(f perfmodel.Framework, types []cloud.InstanceType) perfmodel.Selection {
+		return cal.PickCheapest(f, nFiles, target, types, maxInstances)
+	}, catalog)
+}
+
+// planFleet runs one provider-grouped sweep and merges the group
+// winners: a selection meeting the target beats one that does not;
+// among qualifiers the cheaper wins; among non-qualifiers the faster.
+func planFleet(pick func(perfmodel.Framework, []cloud.InstanceType) perfmodel.Selection,
+	catalog []cloud.InstanceType) (perfmodel.Selection, bool) {
 	var azure, ec2 []cloud.InstanceType
 	for _, it := range catalog {
 		if it.CostPerHour <= 0 {
@@ -136,7 +167,7 @@ func PlanFleet(app perfmodel.AppModel, nFiles int, target time.Duration,
 		if len(group.types) == 0 {
 			continue
 		}
-		sel := perfmodel.PickCheapest(app, group.framework, nFiles, target, group.types, maxInstances)
+		sel := pick(group.framework, group.types)
 		if !have {
 			best, have = sel, true
 			continue

@@ -96,6 +96,12 @@ type Config struct {
 	// DeadLetterQueue receives poison task messages (over the receive
 	// cap, or undecodable). Empty means poison messages are dropped.
 	DeadLetterQueue string
+	// InstanceType labels this deployment's monitor reports with the
+	// instance type running the workers (cloud.InstanceType.Key() form,
+	// "provider/name"), so per-type service-time calibration can keep a
+	// mixed fleet's samples apart. Empty omits the label (reports from
+	// before the field existed parse the same way).
+	InstanceType string
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +160,10 @@ type MonitorReport struct {
 	// paper's variability analysis distributes. Zero for dead-letter
 	// reports and for reports written before the field existed.
 	ServiceTime time.Duration
+	// InstanceType is the reporting instance's type key
+	// ("provider/name"); empty for reports from deployments that did
+	// not set Config.InstanceType.
+	InstanceType string
 }
 
 // ParseMonitorReport decodes one monitoring-queue report.
@@ -163,10 +173,11 @@ func ParseMonitorReport(body []byte) (MonitorReport, error) {
 		return MonitorReport{}, fmt.Errorf("classiccloud: bad monitor message: %w", err)
 	}
 	return MonitorReport{
-		TaskID:      mm.TaskID,
-		WorkerID:    mm.WorkerID,
-		Status:      mm.Status,
-		ServiceTime: time.Duration(mm.ServiceNS),
+		TaskID:       mm.TaskID,
+		WorkerID:     mm.WorkerID,
+		Status:       mm.Status,
+		ServiceTime:  time.Duration(mm.ServiceNS),
+		InstanceType: mm.InstanceType,
 	}, nil
 }
 
@@ -202,6 +213,9 @@ type monitorMsg struct {
 	// ServiceNS is the task's measured pipeline duration in nanoseconds
 	// (done reports only).
 	ServiceNS int64 `json:"service_ns,omitempty"`
+	// InstanceType is the reporting instance's type key (omitted when
+	// the deployment does not label itself; old reports parse the same).
+	InstanceType string `json:"instance_type,omitempty"`
 }
 
 // Client drives a Classic Cloud job: setup, submission, and completion
@@ -575,7 +589,8 @@ func (inst *Instance) processBatch(workerID int, msgs []queue.Message) {
 			ackReceipts = append(ackReceipts, m.ReceiptHandle)
 			mm, _ := json.Marshal(monitorMsg{
 				TaskID: task.ID, WorkerID: workerID, Status: StatusDone,
-				ServiceNS: int64(time.Since(taskStart)),
+				ServiceNS:    int64(time.Since(taskStart)),
+				InstanceType: inst.cfg.InstanceType,
 			})
 			reports = append(reports, mm)
 		} else {

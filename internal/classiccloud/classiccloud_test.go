@@ -361,6 +361,65 @@ func TestDuplicateDeliveryIsIdempotent(t *testing.T) {
 	}
 }
 
+// Monitor reports carry the reporting instance's type (the calibration
+// catalog's label); reports from deployments that do not label
+// themselves — including every report journaled before the field
+// existed — must still parse with the type empty.
+func TestMonitorReportCarriesInstanceType(t *testing.T) {
+	env := testEnv()
+	cfg := Config{JobName: "typed", InstanceType: "aws/Large"}
+	client := NewClient(env, cfg)
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := client.SubmitFiles(map[string][]byte{"a.txt": []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := StartInstance(env, cfg, upperExec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tasks
+	// Read the raw report off the monitor queue (WaitForCompletion would
+	// consume it).
+	var msgs []queue.Message
+	deadline := time.Now().Add(5 * time.Second)
+	for len(msgs) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no monitor report within 5s")
+		}
+		msgs, err = env.Queue.ReceiveMessageBatch(cfg.MonitorQueue(), time.Minute, 10, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst.Stop()
+	rep, err := ParseMonitorReport(msgs[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InstanceType != "aws/Large" {
+		t.Errorf("InstanceType = %q, want aws/Large", rep.InstanceType)
+	}
+	if rep.ServiceTime <= 0 {
+		t.Errorf("ServiceTime = %v, want > 0", rep.ServiceTime)
+	}
+
+	// Old-format report: no instance_type key at all.
+	old := []byte(`{"task_id":"t1","worker_id":3,"status":"done","service_ns":42}`)
+	rep, err = ParseMonitorReport(old)
+	if err != nil {
+		t.Fatalf("old report failed to parse: %v", err)
+	}
+	if rep.InstanceType != "" {
+		t.Errorf("old report InstanceType = %q, want empty", rep.InstanceType)
+	}
+	if rep.TaskID != "t1" || rep.ServiceTime != 42 {
+		t.Errorf("old report fields = %+v", rep)
+	}
+}
+
 func TestTaskValidate(t *testing.T) {
 	good := Task{ID: "a", InputKey: "a", OutputKey: "a.out"}
 	if err := good.Validate(); err != nil {

@@ -132,6 +132,14 @@ func (it InstanceType) MemoryPerCoreGB() float64 {
 	return it.MemoryGB / float64(it.Cores)
 }
 
+// Key returns the "provider/name" identifier used wherever an instance
+// type crosses a serialization boundary (journal events, monitor
+// reports, calibration catalog keys). Resolving a key back to a catalog
+// entry is the broker's resolveInstanceType.
+func (it InstanceType) Key() string {
+	return string(it.Provider) + "/" + it.Name
+}
+
 // String renders the catalog row.
 func (it InstanceType) String() string {
 	return fmt.Sprintf("%s/%s: %d cores, %.1f GB, $%.2f/h", it.Provider, it.Name, it.Cores, it.MemoryGB, it.CostPerHour)

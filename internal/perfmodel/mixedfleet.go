@@ -1,0 +1,225 @@
+package perfmodel
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cloud"
+)
+
+// The mixed-fleet packer plans heterogeneous fleets: instead of one
+// homogeneous (type, count) pair, it bin-packs a job's tasks across a
+// menu of on-demand and spot candidates with Best-Fit-Decreasing — the
+// ClusterFit approach — scoring each purchasable flavor by
+// preemption-adjusted price per delivered work. The homogeneous planner
+// (PickCheapest) remains the broker's live path; the packer extends the
+// catalog's side-by-side comparison to fleets the hour-unit tables
+// cannot express.
+
+// DefaultSpotDiscount is the spot price as a fraction of on-demand when
+// a candidate does not specify one (the paper-era ~65% discount).
+const DefaultSpotDiscount = 0.35
+
+// MixedCandidate is one purchasable flavor the packer may open
+// instances of.
+type MixedCandidate struct {
+	Instance cloud.InstanceType
+	// Workers is the concurrent workers per instance (0 = one per core).
+	Workers int
+	// Spot marks a preemptible instance billed at SpotDiscount × the
+	// on-demand rate.
+	Spot bool
+	// SpotDiscount is the spot price multiplier (0 = DefaultSpotDiscount).
+	SpotDiscount float64
+	// PreemptionsPerHour is the expected reclaim rate per instance-hour.
+	// Each reclaim abandons the instance's in-flight tasks to the
+	// visibility timeout, so the expected rework inflates both the
+	// effective price and the capacity needed. Zero for on-demand.
+	PreemptionsPerHour float64
+}
+
+func (mc MixedCandidate) workers() int {
+	if mc.Workers > 0 {
+		return mc.Workers
+	}
+	if mc.Instance.Cores > 0 {
+		return mc.Instance.Cores
+	}
+	return 1
+}
+
+// hourlyRate is the candidate's billed price per instance-hour.
+func (mc MixedCandidate) hourlyRate() float64 {
+	rate := mc.Instance.CostPerHour
+	if mc.Spot {
+		d := mc.SpotDiscount
+		if d <= 0 || d > 1 {
+			d = DefaultSpotDiscount
+		}
+		rate *= d
+	}
+	return rate
+}
+
+// MixedSlot is one packed instance: its flavor and the load assigned.
+type MixedSlot struct {
+	Candidate MixedCandidate `json:"candidate"`
+	Tasks     int            `json:"tasks"`
+	// Busy is the slot's projected busy time (assigned task-seconds
+	// divided by its worker lanes), the slot's makespan contribution.
+	Busy time.Duration `json:"busy"`
+
+	// loadSec is assigned task-seconds (before dividing by workers).
+	loadSec float64
+	// reworkFactor inflates the slot's effective capacity need and price
+	// for expected preemption rework.
+	reworkFactor float64
+}
+
+// MixedFleet is a packed heterogeneous fleet plan.
+type MixedFleet struct {
+	Slots []MixedSlot `json:"slots"`
+	// Makespan is the slowest slot's projected busy time.
+	Makespan time.Duration `json:"makespan"`
+	// ExpectedCost prices every slot in hour units at its
+	// preemption-adjusted effective rate.
+	ExpectedCost float64 `json:"expected_cost_usd"`
+	// MeetsTarget reports whether every task was placed within the
+	// target without overflowing the instance cap.
+	MeetsTarget bool `json:"meets_target"`
+}
+
+// Instances returns the packed fleet size.
+func (f MixedFleet) Instances() int { return len(f.Slots) }
+
+// PackMixedFleet packs nTasks tasks into at most maxInstances instances
+// drawn from the candidate menu, aiming for every instance's busy time
+// to stay within target. weights scales per-task cost (nil = uniform;
+// shorter slices are padded with 1.0). Packing is Best-Fit-Decreasing:
+// tasks sorted by descending weight, each placed into the open slot it
+// fits most tightly; when none fits, a new slot opens on the candidate
+// with the lowest preemption-adjusted price per delivered task-second.
+// When the cap is hit, remaining tasks go to the slot that minimizes
+// the resulting makespan and MeetsTarget is false.
+func PackMixedFleet(cal CalibratedModel, cands []MixedCandidate, nTasks int,
+	weights []float64, target time.Duration, maxInstances int) MixedFleet {
+	if len(cands) == 0 || nTasks <= 0 {
+		return MixedFleet{}
+	}
+	if maxInstances <= 0 {
+		maxInstances = 1
+	}
+	targetSec := target.Seconds()
+
+	// Per-candidate calibrated task time and opening score.
+	perTask := make([]float64, len(cands))
+	rework := make([]float64, len(cands))
+	score := make([]float64, len(cands))
+	for i, mc := range cands {
+		perTask[i] = cal.ExpectedTaskTime(mc.Instance).Seconds()
+		if perTask[i] <= 0 {
+			perTask[i] = 1e-9
+		}
+		// Expected rework per instance-hour: each reclaim abandons about
+		// half a task per worker lane mid-flight.
+		rework[i] = 1 + mc.PreemptionsPerHour*perTask[i]/2*float64(mc.workers())/3600
+		// Dollars per delivered task at the effective rate: lower is a
+		// better flavor to open next.
+		score[i] = mc.hourlyRate() * rework[i] * perTask[i] / float64(mc.workers()) / 3600
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return score[order[a]] < score[order[b]] })
+
+	// Tasks by descending weight (BFD's "decreasing").
+	w := make([]float64, nTasks)
+	for i := range w {
+		w[i] = 1.0
+		if i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(w)))
+
+	var slots []MixedSlot
+	meets := true
+	// busyAfter projects a slot's makespan with one more task of weight
+	// wt placed on it.
+	busyAfter := func(s *MixedSlot, ci int, wt float64) float64 {
+		return (s.loadSec + wt*perTask[ci]*s.reworkFactor) / float64(s.Candidate.workers())
+	}
+	candIndex := func(s *MixedSlot) int {
+		for i := range cands {
+			if cands[i] == s.Candidate {
+				return i
+			}
+		}
+		return 0
+	}
+	place := func(s *MixedSlot, ci int, wt float64) {
+		s.loadSec += wt * perTask[ci] * s.reworkFactor
+		s.Tasks++
+	}
+	for _, wt := range w {
+		// Best fit: the open slot the task fits into most tightly.
+		bestSlot, bestRem := -1, math.Inf(1)
+		for si := range slots {
+			ci := candIndex(&slots[si])
+			rem := targetSec - busyAfter(&slots[si], ci, wt)
+			if rem >= 0 && rem < bestRem {
+				bestSlot, bestRem = si, rem
+			}
+		}
+		if bestSlot >= 0 {
+			place(&slots[bestSlot], candIndex(&slots[bestSlot]), wt)
+			continue
+		}
+		if len(slots) < maxInstances {
+			// Open the cheapest-scoring flavor that can hold the task
+			// fresh; if none can (a single task outruns the target), the
+			// cheapest flavor opens anyway and the plan misses.
+			opened := -1
+			for _, ci := range order {
+				fresh := MixedSlot{Candidate: cands[ci], reworkFactor: rework[ci]}
+				if busyAfter(&fresh, ci, wt) <= targetSec {
+					opened = ci
+					break
+				}
+			}
+			if opened < 0 {
+				opened = order[0]
+				meets = false
+			}
+			s := MixedSlot{Candidate: cands[opened], reworkFactor: rework[opened]}
+			place(&s, opened, wt)
+			slots = append(slots, s)
+			continue
+		}
+		// Cap hit: overflow onto the slot that stays fastest overall.
+		meets = false
+		bestSlot, bestBusy := 0, math.Inf(1)
+		for si := range slots {
+			if b := busyAfter(&slots[si], candIndex(&slots[si]), wt); b < bestBusy {
+				bestSlot, bestBusy = si, b
+			}
+		}
+		place(&slots[bestSlot], candIndex(&slots[bestSlot]), wt)
+	}
+
+	out := MixedFleet{Slots: slots}
+	for si := range slots {
+		s := &slots[si]
+		s.Busy = time.Duration(s.loadSec / float64(s.Candidate.workers()) * float64(time.Second))
+		if s.Busy > out.Makespan {
+			out.Makespan = s.Busy
+		}
+		ci := candIndex(s)
+		bill := cloud.ComputeBill(s.Candidate.Instance, 1, s.Busy)
+		out.ExpectedCost += bill.HourUnits * cands[ci].hourlyRate() * rework[ci]
+	}
+	out.MeetsTarget = meets && out.Makespan <= target
+	return out
+}

@@ -1,0 +1,105 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+)
+
+func identityCal(app AppModel, workers int) CalibratedModel {
+	return Calibrate(app, workers, nil, nil)
+}
+
+func TestPackMixedFleetMeetsTargetWithinCap(t *testing.T) {
+	app := Cap3Model(458)
+	cal := identityCal(app, 2)
+	cands := []MixedCandidate{
+		{Instance: cloud.EC2Large, Workers: 2},
+		{Instance: cloud.EC2HCXL, Workers: 8},
+	}
+	fleet := PackMixedFleet(cal, cands, 64, nil, time.Hour, 16)
+	if !fleet.MeetsTarget {
+		t.Fatalf("64 tasks miss a 1h target with 16 instances (makespan %v)", fleet.Makespan)
+	}
+	if fleet.Makespan > time.Hour {
+		t.Errorf("makespan %v exceeds target", fleet.Makespan)
+	}
+	if n := fleet.Instances(); n < 1 || n > 16 {
+		t.Errorf("fleet size %d out of range", n)
+	}
+	total := 0
+	for _, s := range fleet.Slots {
+		total += s.Tasks
+	}
+	if total != 64 {
+		t.Errorf("placed %d tasks, want 64", total)
+	}
+}
+
+func TestPackMixedFleetOpensCheapestFlavor(t *testing.T) {
+	app := Cap3Model(458)
+	cal := identityCal(app, 2)
+	// Identical machines, one twice the price: every opened slot must be
+	// the cheap one.
+	cheap := MixedCandidate{Instance: cloud.EC2Large, Workers: 2}
+	pricey := cheap
+	pricey.Instance.Name = "pricey twin"
+	pricey.Instance.CostPerHour *= 2
+	fleet := PackMixedFleet(cal, []MixedCandidate{pricey, cheap}, 32, nil, time.Hour, 8)
+	for _, s := range fleet.Slots {
+		if s.Candidate.Instance.Name != cloud.EC2Large.Name {
+			t.Errorf("opened %s at $%.2f/h; identical twin costs half",
+				s.Candidate.Instance.Name, s.Candidate.Instance.CostPerHour)
+		}
+	}
+}
+
+func TestPackMixedFleetSpotDiscountWinsWithoutPreemptions(t *testing.T) {
+	app := Cap3Model(458)
+	cal := identityCal(app, 2)
+	ondemand := MixedCandidate{Instance: cloud.EC2Large, Workers: 2}
+	spot := ondemand
+	spot.Spot = true
+	fleet := PackMixedFleet(cal, []MixedCandidate{ondemand, spot}, 32, nil, time.Hour, 8)
+	for _, s := range fleet.Slots {
+		if !s.Candidate.Spot {
+			t.Error("opened on-demand capacity when an identical preemption-free spot flavor costs 35%")
+		}
+	}
+}
+
+func TestPackMixedFleetPreemptionRatePenalizesSpot(t *testing.T) {
+	app := Cap3Model(458)
+	cal := identityCal(app, 2)
+	ondemand := MixedCandidate{Instance: cloud.EC2Large, Workers: 2}
+	// A spot flavor reclaimed so often its rework factor dwarfs the
+	// discount must lose to on-demand.
+	flaky := ondemand
+	flaky.Spot = true
+	flaky.PreemptionsPerHour = 10000
+	fleet := PackMixedFleet(cal, []MixedCandidate{flaky, ondemand}, 32, nil, time.Hour, 8)
+	for _, s := range fleet.Slots {
+		if s.Candidate.Spot {
+			t.Error("opened heavily-preempted spot capacity over on-demand")
+		}
+	}
+}
+
+func TestPackMixedFleetCapOverflowMissesTarget(t *testing.T) {
+	app := Cap3Model(458)
+	cal := identityCal(app, 2)
+	cands := []MixedCandidate{{Instance: cloud.EC2Large, Workers: 2}}
+	// One instance for a workload that needs many: every task still
+	// places, but the plan reports the miss.
+	fleet := PackMixedFleet(cal, cands, 500, nil, time.Minute, 1)
+	if fleet.MeetsTarget {
+		t.Error("500 tasks on one instance cannot meet a 1m target")
+	}
+	if fleet.Instances() != 1 {
+		t.Errorf("fleet size %d, want the cap of 1", fleet.Instances())
+	}
+	if fleet.Slots[0].Tasks != 500 {
+		t.Errorf("placed %d tasks, want all 500", fleet.Slots[0].Tasks)
+	}
+}

@@ -33,8 +33,20 @@ func (s Selection) InstanceType() cloud.InstanceType { return s.Spec.Instance }
 // configuration with the lowest hour-unit compute cost whose simulated
 // makespan is at most target. Ties break toward fewer instances, then
 // the shorter makespan. When no configuration meets the target it
-// returns the fastest one found with MeetsTarget=false.
+// returns the fastest one found with MeetsTarget=false; makespan-tied
+// fallbacks break toward the cheaper, then the smaller fleet, so the
+// result never depends on catalog order.
 func PickCheapest(app AppModel, f Framework, nFiles int, target time.Duration,
+	catalog []cloud.InstanceType, maxInstances int) Selection {
+	return pickCheapest(func(cloud.InstanceType) AppModel { return app },
+		f, nFiles, target, catalog, maxInstances)
+}
+
+// pickCheapest is the sweep behind PickCheapest, parameterized on a
+// per-type application model so calibrated overlays (CalibratedModel)
+// can reuse the search with observation-corrected curves.
+func pickCheapest(appFor func(cloud.InstanceType) AppModel, f Framework,
+	nFiles int, target time.Duration,
 	catalog []cloud.InstanceType, maxInstances int) Selection {
 	if maxInstances <= 0 {
 		maxInstances = 1
@@ -42,6 +54,7 @@ func PickCheapest(app AppModel, f Framework, nFiles int, target time.Duration,
 	var best, fastest Selection
 	haveBest, haveFastest := false, false
 	for _, it := range catalog {
+		app := appFor(it)
 		for n := 1; n <= maxInstances; n++ {
 			spec := RunSpec{
 				App: app, Framework: f, Instance: it, Instances: n,
@@ -49,7 +62,8 @@ func PickCheapest(app AppModel, f Framework, nFiles int, target time.Duration,
 			}
 			out := Simulate(spec)
 			cand := Selection{Spec: spec, Outcome: out, MeetsTarget: out.Makespan <= target}
-			if !haveFastest || out.Makespan < fastest.Outcome.Makespan {
+			if !haveFastest || out.Makespan < fastest.Outcome.Makespan ||
+				(out.Makespan == fastest.Outcome.Makespan && cheaper(cand, fastest)) {
 				fastest, haveFastest = cand, true
 			}
 			if !cand.MeetsTarget {

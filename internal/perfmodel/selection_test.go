@@ -58,6 +58,45 @@ func TestPickCheapestImpossibleTargetFallsBackToFastest(t *testing.T) {
 	}
 }
 
+// Regression: the no-qualifier fallback compared makespans with a
+// strict "<", so among makespan-tied configurations whichever the
+// catalog listed first won — including an identically-specced instance
+// type at twice the hourly price. Fails against the unfixed sweep.
+func TestPickCheapestFallbackBreaksTiesTowardCheaper(t *testing.T) {
+	app := Cap3Model(458)
+	cheap := cloud.InstanceType{
+		Name: "tie-cheap", Provider: cloud.AWS, MemoryGB: 7.5, Cores: 2,
+		CostPerHour: 0.30, SixtyFourBit: true, ClockGHz: 2.0, MemBandwidthGBs: 6.4,
+	}
+	pricey := cheap
+	pricey.Name = "tie-pricey"
+	pricey.CostPerHour = 0.60
+	// Pricey twin first: an order-dependent fallback picks it.
+	sel := PickCheapest(app, ClassicEC2, 32, time.Nanosecond,
+		[]cloud.InstanceType{pricey, cheap}, 4)
+	if sel.MeetsTarget {
+		t.Fatal("MeetsTarget for a nanosecond deadline")
+	}
+	if got := sel.InstanceType().Name; got != cheap.Name {
+		t.Errorf("fallback picked %s ($%.2f/h) over the identical %s ($%.2f/h)",
+			got, sel.InstanceType().CostPerHour, cheap.Name, cheap.CostPerHour)
+	}
+}
+
+// The second tie-break: among equally cheap, makespan-tied fallbacks the
+// smaller fleet wins (one file cannot use a second instance, so every
+// fleet size ties).
+func TestPickCheapestFallbackBreaksTiesTowardSmallerFleet(t *testing.T) {
+	app := Cap3Model(458)
+	sel := PickCheapest(app, ClassicEC2, 1, time.Nanosecond, cloud.EC2Catalog(), 8)
+	if sel.MeetsTarget {
+		t.Fatal("MeetsTarget for a nanosecond deadline")
+	}
+	if sel.Instances() != 1 {
+		t.Errorf("fallback fleet = %d for a single file, want 1", sel.Instances())
+	}
+}
+
 func TestPickCheapestTinyWorkloadPrefersSmallFleet(t *testing.T) {
 	// One file cannot use a second instance: the planner must not pay
 	// for one.

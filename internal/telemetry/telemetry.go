@@ -158,6 +158,35 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return bucketUpper(histBuckets - 1)
 }
 
+// BucketCounts returns a copy of the raw bucket counters (bucket i
+// holds observations in (2^(i-1), 2^i] microseconds). Together with
+// Sum, it is the histogram's full persistable state: layers that
+// snapshot histograms to durable storage (the calibration catalog)
+// round-trip through BucketCounts and Merge.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Merge folds previously exported state into the histogram: sumNS nanoseconds
+// spread over the given bucket counts (indices beyond the bucket range are
+// ignored). The observation count is the sum of the bucket counts.
+func (h *Histogram) Merge(sumNS int64, buckets []int64) {
+	var n int64
+	for i, c := range buckets {
+		if i >= histBuckets || c <= 0 {
+			continue
+		}
+		h.buckets[i].Add(c)
+		n += c
+	}
+	h.count.Add(n)
+	h.sum.Add(sumNS)
+}
+
 // HistogramSnapshot is a histogram's point-in-time summary.
 type HistogramSnapshot struct {
 	Count int64 `json:"count"`
